@@ -1,0 +1,248 @@
+// Command authqry is an interactive front end to the authorization-aware
+// optimizer: given a catalog, a set of authorization rules, and a query, it
+// prints the plan with profiles, the candidate sets Λ, the cost-optimal
+// assignment with the minimally extended plan, the query-plan keys, and the
+// dispatch.
+//
+// The catalog and policy are described by a small text configuration:
+//
+//	relation Hosp @H rows=1000
+//	  S string 11 distinct=1000
+//	  B date 8 distinct=500
+//	  D string 20 distinct=50
+//	  T string 20 distinct=40
+//	relation Ins @I rows=5000
+//	  C string 11 distinct=5000
+//	  P float 8 distinct=800
+//	grant Hosp [S,D,T ; ] -> U
+//	grant Hosp [D,T ; S] -> X
+//	...
+//	subjects H I U X Y Z
+//	user U
+//	authorities H I
+//	providers X Y Z
+//
+// Usage:
+//
+//	authqry -config schema.cfg -q "select T, avg(P) from Hosp join Ins on S=C ..."
+//	authqry -q "..."              # uses the built-in running example
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpq/internal/algebra"
+	"mpq/internal/assignment"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+	"mpq/internal/cost"
+	"mpq/internal/dispatch"
+	"mpq/internal/planner"
+)
+
+type config struct {
+	cat         *algebra.Catalog
+	pol         *authz.Policy
+	subjects    []authz.Subject
+	user        authz.Subject
+	authorities []authz.Subject
+	providers   []authz.Subject
+}
+
+func main() {
+	cfgPath := flag.String("config", "", "catalog/policy configuration file (default: built-in running example)")
+	query := flag.String("q", "", "SQL query to analyze")
+	dot := flag.Bool("dot", false, "emit the extended plan in Graphviz dot syntax instead of text")
+	flag.Parse()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "usage: authqry [-config file] -q \"select ...\"")
+		os.Exit(2)
+	}
+
+	var cfg *config
+	var err error
+	if *cfgPath != "" {
+		cfg, err = loadConfig(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg = builtinExample()
+	}
+
+	plan, err := planner.New(cfg.cat).PlanSQL(*query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys := core.NewSystem(cfg.pol, cfg.subjects...)
+	sys.Types = cfg.cat.TypesOf()
+	an := sys.Analyze(plan.Root, nil)
+	fmt.Println("== Plan, candidates, and minimum-view profiles ==")
+	fmt.Print(an.Format(nil))
+	if err := an.Feasible(); err != nil {
+		log.Fatalf("infeasible: %v", err)
+	}
+	if cfg.user != "" {
+		if err := sys.CheckUserAccess(cfg.user, plan.Root); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	model := cost.NewPaperModel(cfg.user, cfg.authorities, cfg.providers)
+	res, err := assignment.Optimize(sys, an, model, assignment.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== Cost-optimal minimally extended plan ==")
+	fmt.Print(an.Format(res.Extended))
+	fmt.Println("\n== Keys (Definition 6.1) ==")
+	for _, k := range res.Extended.Keys {
+		fmt.Printf("  %s over %s → %v\n", k.ID, k.Attrs, k.Holders)
+	}
+	fmt.Printf("\n== Cost ==\n  %v\n", res.Cost)
+	fmt.Println("\n== Per-node costs ==")
+	fmt.Print(res.Cost.FormatPerNode())
+	fmt.Println("\n== Dispatch ==")
+	fmt.Print(dispatch.Partition(res.Extended).Format())
+
+	if *dot {
+		fmt.Println("\n== Extended plan (dot) ==")
+		fmt.Print(algebra.DOT(res.Extended.Root, func(n algebra.Node) []string {
+			var lines []string
+			if s, ok := res.Extended.Assign[n]; ok {
+				lines = append(lines, "@"+string(s))
+			}
+			return lines
+		}))
+	}
+}
+
+// builtinExample returns the paper's running example configuration.
+func builtinExample() *config {
+	cat := algebra.NewCatalog()
+	cat.Add(&algebra.Relation{Name: "Hosp", Authority: "H", Rows: 1000, Columns: []algebra.Column{
+		{Name: "S", Type: algebra.TString, Width: 11, Distinct: 1000},
+		{Name: "B", Type: algebra.TDate, Width: 8, Distinct: 500},
+		{Name: "D", Type: algebra.TString, Width: 20, Distinct: 50},
+		{Name: "T", Type: algebra.TString, Width: 20, Distinct: 40},
+	}})
+	cat.Add(&algebra.Relation{Name: "Ins", Authority: "I", Rows: 5000, Columns: []algebra.Column{
+		{Name: "C", Type: algebra.TString, Width: 11, Distinct: 5000},
+		{Name: "P", Type: algebra.TFloat, Width: 8, Distinct: 800},
+	}})
+	pol := authz.NewPolicy()
+	for _, r := range []struct{ rel, spec string }{
+		{"Hosp", "[S,B,D,T ; ] -> H"}, {"Hosp", "[B ; S,D,T] -> I"},
+		{"Hosp", "[S,D,T ; ] -> U"}, {"Hosp", "[D,T ; S] -> X"},
+		{"Hosp", "[B,D,T ; S] -> Y"}, {"Hosp", "[S,T ; D] -> Z"},
+		{"Hosp", "[D,T ; ] -> any"},
+		{"Ins", "[C ; P] -> H"}, {"Ins", "[C,P ; ] -> I"},
+		{"Ins", "[C,P ; ] -> U"}, {"Ins", "[ ; C,P] -> X"},
+		{"Ins", "[P ; C] -> Y"}, {"Ins", "[C ; P] -> Z"},
+		{"Ins", "[ ; P] -> any"},
+	} {
+		pol.MustParseRule(r.rel, r.spec)
+	}
+	return &config{
+		cat: cat, pol: pol,
+		subjects:    []authz.Subject{"H", "I", "U", "X", "Y", "Z"},
+		user:        "U",
+		authorities: []authz.Subject{"H", "I"},
+		providers:   []authz.Subject{"X", "Y", "Z"},
+	}
+}
+
+// loadConfig parses the configuration format in the package comment.
+func loadConfig(path string) (*config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	cfg := &config{cat: algebra.NewCatalog(), pol: authz.NewPolicy()}
+	var cur *algebra.Relation
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "relation":
+			if len(fields) < 3 || !strings.HasPrefix(fields[2], "@") {
+				return nil, fmt.Errorf("%s:%d: relation NAME @AUTHORITY rows=N", path, lineNo)
+			}
+			cur = &algebra.Relation{Name: fields[1], Authority: strings.TrimPrefix(fields[2], "@")}
+			for _, opt := range fields[3:] {
+				if v, ok := strings.CutPrefix(opt, "rows="); ok {
+					cur.Rows, _ = strconv.ParseFloat(v, 64)
+				}
+			}
+			cfg.cat.Add(cur)
+		case "grant":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%s:%d: grant RELATION [P ; E] -> S", path, lineNo)
+			}
+			spec := strings.Join(fields[2:], " ")
+			if err := cfg.pol.ParseRule(fields[1], spec); err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+		case "subjects":
+			for _, s := range fields[1:] {
+				cfg.subjects = append(cfg.subjects, authz.Subject(s))
+			}
+		case "user":
+			cfg.user = authz.Subject(fields[1])
+		case "authorities":
+			for _, s := range fields[1:] {
+				cfg.authorities = append(cfg.authorities, authz.Subject(s))
+			}
+		case "providers":
+			for _, s := range fields[1:] {
+				cfg.providers = append(cfg.providers, authz.Subject(s))
+			}
+		default:
+			// Column line inside a relation block: NAME TYPE WIDTH [distinct=N]
+			if cur == nil {
+				return nil, fmt.Errorf("%s:%d: column outside a relation block", path, lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("%s:%d: column NAME TYPE WIDTH [distinct=N]", path, lineNo)
+			}
+			col := algebra.Column{Name: fields[0]}
+			switch fields[1] {
+			case "int":
+				col.Type = algebra.TInt
+			case "float":
+				col.Type = algebra.TFloat
+			case "date":
+				col.Type = algebra.TDate
+			case "string":
+				col.Type = algebra.TString
+			default:
+				return nil, fmt.Errorf("%s:%d: unknown type %q", path, lineNo, fields[1])
+			}
+			col.Width, _ = strconv.ParseFloat(fields[2], 64)
+			for _, opt := range fields[3:] {
+				if v, ok := strings.CutPrefix(opt, "distinct="); ok {
+					col.Distinct, _ = strconv.ParseFloat(v, 64)
+				}
+			}
+			cur.Columns = append(cur.Columns, col)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,42 @@
+// Command tpchbench regenerates the paper's evaluation figures: the
+// per-query normalized economic cost of the 22 TPC-H queries under the UA /
+// UAPenc / UAPmix authorization scenarios (Figure 9) and the cumulative
+// cost with total savings (Figure 10).
+//
+// Usage:
+//
+//	tpchbench            # both figures at scale factor 1
+//	tpchbench -fig 9     # per-query table only
+//	tpchbench -fig 10    # cumulative table only
+//	tpchbench -sf 10     # different scale factor for the catalog statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"mpq/internal/tpch"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (9 or 10; 0 = both)")
+	sf := flag.Float64("sf", 1, "TPC-H scale factor for the catalog statistics")
+	flag.Parse()
+
+	res, err := tpch.RunCostExperiment(*sf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *fig == 0 || *fig == 9 {
+		fmt.Println("Figure 9 — economic cost of evaluating individual queries (normalized, UA = 1)")
+		fmt.Println()
+		fmt.Print(res.FormatFigure9())
+		fmt.Println()
+	}
+	if *fig == 0 || *fig == 10 {
+		fmt.Println("Figure 10 — cumulative economic cost of evaluating queries")
+		fmt.Println()
+		fmt.Print(res.FormatFigure10())
+	}
+}

@@ -1,0 +1,60 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan tree in Graphviz dot syntax, one box per node, with
+// optional per-node annotation lines (profiles, assignees, candidates).
+// Encryption and decryption nodes are shaded like the gray/white boxes of
+// the paper's figures.
+func DOT(root Node, annotate func(Node) []string) string {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n")
+	sb.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	sb.WriteString("  rankdir=BT;\n")
+
+	ids := make(map[Node]int)
+	next := 0
+	var idOf func(n Node) int
+	idOf = func(n Node) int {
+		if id, ok := ids[n]; ok {
+			return id
+		}
+		ids[n] = next
+		next++
+		return ids[n]
+	}
+
+	PostOrder(root, func(n Node) {
+		id := idOf(n)
+		label := escapeDOT(n.Op())
+		if annotate != nil {
+			for _, line := range annotate(n) {
+				label += "\\n" + escapeDOT(line)
+			}
+		}
+		attrs := fmt.Sprintf("label=\"%s\"", label)
+		switch n.(type) {
+		case *Encrypt:
+			attrs += ", style=filled, fillcolor=gray80"
+		case *Decrypt:
+			attrs += ", style=filled, fillcolor=white, peripheries=2"
+		case *Base:
+			attrs += ", style=filled, fillcolor=lightyellow"
+		}
+		fmt.Fprintf(&sb, "  n%d [%s];\n", id, attrs)
+		for _, c := range n.Children() {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", idOf(c), id)
+		}
+	})
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	s = strings.ReplaceAll(s, "\"", "\\\"")
+	return s
+}

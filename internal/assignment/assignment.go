@@ -1,0 +1,543 @@
+// Package assignment computes cost-minimizing assignments of query plan
+// operations to candidate subjects (Section 6, step 2, and Section 7). It
+// uses the dynamic programming strategy of the paper's tool: the state space
+// is (node, executing subject), edge costs account for data transfer and the
+// on-the-fly encryption/decryption the assignment induces, and the chosen
+// assignment is then materialized as a minimally extended plan whose exact
+// cost is computed by the cost model.
+package assignment
+
+import (
+	"fmt"
+	"math"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+	"mpq/internal/cost"
+	"mpq/internal/sql"
+)
+
+// Result is an optimized assignment: the chosen λ, the minimally extended
+// plan it induces, and its exact cost breakdown.
+type Result struct {
+	Lambda   core.Assignment
+	Extended *core.ExtendedPlan
+	Cost     cost.Breakdown
+}
+
+// Options tunes the optimizer.
+type Options struct {
+	// MaxSeconds, when positive, is a performance threshold: assignments
+	// whose estimated wall-clock time exceeds it are rejected (Section 7:
+	// cost drives the choice as long as performance stays above a
+	// threshold).
+	MaxSeconds float64
+}
+
+// Optimize computes the cheapest authorized assignment for the analyzed
+// plan under the model, extends the plan accordingly, and prices it. The
+// search seeds a dynamic program over (node, candidate) states with
+// approximate edge costs, then refines the assignment by exact-cost local
+// search (each refinement step rebuilds the minimally extended plan and
+// prices it precisely, combining assignment and encryption decisions as
+// Section 6 prescribes when encryption is not negligible).
+func Optimize(sys *core.System, an *core.Analysis, m *cost.Model, opts Options) (*Result, error) {
+	if err := an.Feasible(); err != nil {
+		return nil, err
+	}
+	// Seed the local search from the DP solution and from the trivial
+	// assignment placing every operation at the user (always a candidate:
+	// users hold plaintext on all query inputs). Refining both and keeping
+	// the best makes the provider-free solution always reachable, so adding
+	// provider authorizations can never increase the optimized cost.
+	seeds := []core.Assignment{chooseAssignment(sys, an, m)}
+	if allUser := uniformAssignment(an, m.User); allUser != nil {
+		seeds = append(seeds, allUser)
+	}
+	var (
+		lambda core.Assignment
+		ext    *core.ExtendedPlan
+		br     cost.Breakdown
+	)
+	for i, seed := range seeds {
+		e, b, err := refine(sys, an, m, seed)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || b.Total() < br.Total() {
+			lambda, ext, br = seed, e, b
+		}
+	}
+	if opts.MaxSeconds > 0 && br.Seconds > opts.MaxSeconds {
+		// Fall back to the assignment minimizing time instead of cost.
+		lambda = chooseAssignmentBy(sys, an, m, true)
+		var err error
+		ext, err = sys.Extend(an, lambda)
+		if err != nil {
+			return nil, err
+		}
+		br = cost.OfPlan(ext.Root, ExtendedExecutor(ext), ext.Schemes, ext.Profiles, m)
+		if br.Seconds > opts.MaxSeconds {
+			return nil, fmt.Errorf("assignment: no assignment meets the %.1fs performance threshold (best %.1fs)",
+				opts.MaxSeconds, br.Seconds)
+		}
+	}
+	return &Result{Lambda: lambda, Extended: ext, Cost: br}, nil
+}
+
+// uniformAssignment assigns every operation to one subject, or nil when the
+// subject is not a candidate everywhere.
+func uniformAssignment(an *core.Analysis, s authz.Subject) core.Assignment {
+	lambda := make(core.Assignment)
+	ok := true
+	algebra.PostOrder(an.Root, func(n algebra.Node) {
+		if len(n.Children()) == 0 {
+			return
+		}
+		found := false
+		for _, c := range an.Candidates[n] {
+			if c == s {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ok = false
+			return
+		}
+		lambda[n] = s
+	})
+	if !ok {
+		return nil
+	}
+	return lambda
+}
+
+// refine hill-climbs the assignment under the exact cost of the minimally
+// extended plan: for each operation it tries every candidate while holding
+// the rest fixed, keeping any strict improvement, until a full sweep makes
+// no progress.
+func refine(sys *core.System, an *core.Analysis, m *cost.Model, lambda core.Assignment) (*core.ExtendedPlan, cost.Breakdown, error) {
+	exact := func(l core.Assignment) (*core.ExtendedPlan, cost.Breakdown, error) {
+		ext, err := sys.Extend(an, l)
+		if err != nil {
+			return nil, cost.Breakdown{}, err
+		}
+		return ext, cost.OfPlan(ext.Root, ExtendedExecutor(ext), ext.Schemes, ext.Profiles, m), nil
+	}
+	bestExt, bestBr, err := exact(lambda)
+	if err != nil {
+		return nil, cost.Breakdown{}, err
+	}
+	var ops []algebra.Node
+	algebra.PostOrder(an.Root, func(n algebra.Node) {
+		if len(n.Children()) > 0 {
+			ops = append(ops, n)
+		}
+	})
+	const maxSweeps = 8
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := false
+		for _, n := range ops {
+			cur := lambda[n]
+			for _, s := range an.Candidates[n] {
+				if s == cur {
+					continue
+				}
+				lambda[n] = s
+				ext, br, err := exact(lambda)
+				if err != nil {
+					lambda[n] = cur
+					return nil, cost.Breakdown{}, err
+				}
+				if br.Total() < bestBr.Total()*(1-1e-9) {
+					bestExt, bestBr = ext, br
+					cur = s
+					improved = true
+				} else {
+					lambda[n] = cur
+				}
+			}
+			lambda[n] = cur
+		}
+		if !improved {
+			break
+		}
+	}
+	return bestExt, bestBr, nil
+}
+
+// ExtendedExecutor builds a cost.Executor for an extended plan: assignees
+// for operations, authorities for base relations.
+func ExtendedExecutor(ext *core.ExtendedPlan) cost.Executor {
+	return func(n algebra.Node) authz.Subject {
+		if b, ok := n.(*algebra.Base); ok {
+			return authz.Subject(b.Host())
+		}
+		return ext.Assign[n]
+	}
+}
+
+// chooseAssignment runs the DP minimizing economic cost.
+func chooseAssignment(sys *core.System, an *core.Analysis, m *cost.Model) core.Assignment {
+	return chooseAssignmentBy(sys, an, m, false)
+}
+
+// schemeHints predicts, per attribute, the encryption scheme the extension
+// would choose if the attribute ends up encrypted: Paillier when it is
+// additively aggregated over ciphertexts, OPE when order-compared over
+// ciphertexts, deterministic when equality-compared, randomized otherwise.
+// An operation with at least one plaintext-authorized candidate is assumed
+// to be opportunistically decrypted rather than evaluated under an
+// expensive scheme (mirroring core.Extend), so it does not force
+// Paillier/OPE on its attributes. The DP uses the hints to price edge
+// encryption and ciphertext-evaluation slowdowns realistically.
+func schemeHints(an *core.Analysis) map[algebra.Attr]algebra.Scheme {
+	type need struct{ eq, ord, sum bool }
+	needs := make(map[algebra.Attr]*need)
+	get := func(a algebra.Attr) *need {
+		if n, ok := needs[a]; ok {
+			return n
+		}
+		n := &need{}
+		needs[a] = n
+		return n
+	}
+	algebra.PostOrder(an.Root, func(n algebra.Node) {
+		// canDecrypt(a): some candidate of n may see a in plaintext, so the
+		// expensive encrypted evaluation of a at n is avoidable.
+		canDecrypt := func(a algebra.Attr) bool {
+			for _, s := range an.Candidates[n] {
+				if an.Views[s].P.Has(a) {
+					return true
+				}
+			}
+			return false
+		}
+		markPred := func(p algebra.Pred) {
+			algebra.WalkPred(p, func(q algebra.Pred) {
+				switch c := q.(type) {
+				case *algebra.CmpAV:
+					if c.Op.IsEquality() || c.Op == sql.OpNeq {
+						get(c.A).eq = true
+					} else if !canDecrypt(c.A) {
+						get(c.A).ord = true
+					}
+				case *algebra.CmpAA:
+					for _, a := range []algebra.Attr{c.L, c.R} {
+						if c.Op.IsEquality() || c.Op == sql.OpNeq {
+							get(a).eq = true
+						} else if !canDecrypt(a) {
+							get(a).ord = true
+						}
+					}
+				}
+			})
+		}
+		switch x := n.(type) {
+		case *algebra.Select:
+			markPred(x.Pred)
+		case *algebra.Join:
+			markPred(x.Cond)
+		case *algebra.GroupBy:
+			for _, k := range x.Keys {
+				get(k).eq = true
+			}
+			for _, spec := range x.Aggs {
+				if spec.Star || canDecrypt(spec.Attr) {
+					continue
+				}
+				switch spec.Func {
+				case sql.AggAvg, sql.AggSum:
+					get(spec.Attr).sum = true
+				case sql.AggMin, sql.AggMax:
+					get(spec.Attr).ord = true
+				}
+			}
+		}
+	})
+	out := make(map[algebra.Attr]algebra.Scheme, len(needs))
+	algebra.PostOrder(an.Root, func(n algebra.Node) {
+		for _, a := range n.Schema() {
+			nd := needs[a]
+			switch {
+			case nd == nil:
+				out[a] = algebra.SchemeRandom
+			case nd.sum:
+				out[a] = algebra.SchemePaillier
+			case nd.ord:
+				out[a] = algebra.SchemeOPE
+			case nd.eq:
+				out[a] = algebra.SchemeDeterministic
+			default:
+				out[a] = algebra.SchemeRandom
+			}
+		}
+	})
+	return out
+}
+
+// touchedAttrs returns the attributes an operation computes on.
+func touchedAttrs(n algebra.Node) algebra.AttrSet {
+	switch x := n.(type) {
+	case *algebra.Select:
+		return x.Pred.Attrs()
+	case *algebra.Join:
+		return x.Cond.Attrs()
+	case *algebra.GroupBy:
+		out := algebra.NewAttrSet(x.Keys...)
+		out = out.Union(x.AggAttrs())
+		delete(out, algebra.CountAttr())
+		return out
+	case *algebra.UDF:
+		return algebra.NewAttrSet(x.Args...)
+	default:
+		return algebra.NewAttrSet()
+	}
+}
+
+// dpEntry is the best known solution for executing a subtree with its root
+// operation at a given subject.
+type dpEntry struct {
+	cost   float64
+	choice []authz.Subject // chosen subject per child (operations only)
+}
+
+// chooseAssignmentBy runs the DP. When byTime is true it minimizes the
+// estimated wall-clock time instead of the economic cost.
+func chooseAssignmentBy(sys *core.System, an *core.Analysis, m *cost.Model, byTime bool) core.Assignment {
+	hints := schemeHints(an)
+	// best[n][s] = minimal objective for the subtree rooted at n when n is
+	// executed by s (for leaves: by the data authority, single entry).
+	best := make(map[algebra.Node]map[authz.Subject]dpEntry)
+
+	algebra.PostOrder(an.Root, func(n algebra.Node) {
+		entry := make(map[authz.Subject]dpEntry)
+		children := n.Children()
+		if len(children) == 0 {
+			b := n.(*algebra.Base)
+			host := authz.Subject(b.Host())
+			entry[host] = dpEntry{cost: leafCost(b, m, host, byTime)}
+			best[n] = entry
+			return
+		}
+		for _, s := range an.Candidates[n] {
+			total := opCost(an, n, s, m, byTime, hints)
+			choice := make([]authz.Subject, len(children))
+			feasible := true
+			for i, c := range children {
+				bestC := math.Inf(1)
+				var bestS authz.Subject
+				for cs, e := range best[c] {
+					v := e.cost + edgeCost(an, c, cs, n, s, m, byTime, hints)
+					if v < bestC {
+						bestC, bestS = v, cs
+					}
+				}
+				if math.IsInf(bestC, 1) {
+					feasible = false
+					break
+				}
+				total += bestC
+				choice[i] = bestS
+			}
+			if feasible {
+				entry[s] = dpEntry{cost: total, choice: choice}
+			}
+		}
+		best[n] = entry
+	})
+
+	// Pick the root subject, adding the delivery edge to the user.
+	var rootS authz.Subject
+	bestV := math.Inf(1)
+	for s, e := range best[an.Root] {
+		v := e.cost + deliveryCost(an, an.Root, s, m, byTime)
+		if v < bestV {
+			bestV, rootS = v, s
+		}
+	}
+
+	// Walk back down recording choices.
+	lambda := make(core.Assignment)
+	var assignDown func(n algebra.Node, s authz.Subject)
+	assignDown = func(n algebra.Node, s authz.Subject) {
+		children := n.Children()
+		if len(children) == 0 {
+			return
+		}
+		lambda[n] = s
+		e := best[n][s]
+		for i, c := range children {
+			assignDown(c, e.choice[i])
+		}
+	}
+	assignDown(an.Root, rootS)
+	return lambda
+}
+
+// leafCost prices scanning a base relation at its authority.
+func leafCost(b *algebra.Base, m *cost.Model, auth authz.Subject, byTime bool) float64 {
+	bytes := b.Stats().Bytes(b.Schema())
+	if byTime {
+		return bytes / 200e6 // ~200 MB/s scan
+	}
+	return bytes * m.PriceOf(auth).IOPerByte
+}
+
+// opCost prices the evaluation of operation n at subject s, accounting for
+// ciphertext-evaluation slowdowns when s may only access the attributes the
+// operation computes on in encrypted form.
+func opCost(an *core.Analysis, n algebra.Node, s authz.Subject, m *cost.Model, byTime bool,
+	hints map[algebra.Attr]algebra.Scheme) float64 {
+	var inRows float64
+	for _, c := range n.Children() {
+		inRows += c.Stats().Rows
+	}
+	var per float64
+	switch n.(type) {
+	case *algebra.UDF:
+		per = 1.0e-4
+	case *algebra.GroupBy:
+		per = 1.5e-6
+	case *algebra.Join, *algebra.Product:
+		per = 2.0e-6
+	default:
+		per = 1.0e-6
+	}
+	// Operating over ciphertexts (attributes the subject sees encrypted).
+	view := an.Views[s]
+	for a := range touchedAttrs(n).Intersect(view.E) {
+		if c := cost.OpSecondsOverCipher(hints[a]); c > per {
+			per = c
+		}
+	}
+	sec := inRows * per
+	if byTime {
+		return sec
+	}
+	return sec * m.PriceOf(s).CPUPerSec
+}
+
+// edgeCost prices the edge from child c (executed by cs) to n (executed by
+// s): network transfer when they differ, plus the encryption work the
+// assignment induces on the edge (attributes s may only see encrypted) and
+// the decryption of the attributes n needs in plaintext.
+func edgeCost(an *core.Analysis, c algebra.Node, cs authz.Subject, n algebra.Node, s authz.Subject,
+	m *cost.Model, byTime bool, hints map[algebra.Attr]algebra.Scheme) float64 {
+	rows := c.Stats().Rows
+	view := an.Views[s]
+
+	// Transfer size with ciphertext expansion for the attributes the
+	// consumer sees encrypted.
+	st := c.Stats()
+	var width float64
+	for _, a := range c.Schema() {
+		w, ok := st.Widths[a]
+		if !ok {
+			w = algebra.DefaultWidth
+		}
+		if view.E.Has(a) {
+			w = cost.CipherWidth(hints[a], w)
+		}
+		width += w
+	}
+	bytes := rows * width
+
+	var out float64
+	if cs != s {
+		if byTime {
+			if m.BandwidthBps != nil {
+				out += bytes * 8 / m.BandwidthBps(cs, s)
+			}
+		} else {
+			out += bytes * m.NetPerByte(cs, s)
+		}
+	}
+
+	// On-the-fly protection: attributes of the child schema the consumer
+	// may only access encrypted get encrypted at the producer; attributes
+	// required in plaintext get decrypted at the consumer. An attribute
+	// whose expensive-scheme consumer (Paillier/OPE) is plaintext-
+	// authorized gets opportunistically decrypted by the extension, so its
+	// encryption is priced as randomized.
+	schema := algebra.SchemaSet(c)
+	var encSec float64
+	for a := range view.E.Intersect(schema) {
+		encSec += cost.EncSeconds(hints[a])
+	}
+	var decSec float64
+	for a := range an.Reqs[n].Intersect(schema) {
+		decSec += cost.DecSeconds(hints[a])
+	}
+	sec := rows * (encSec + decSec)
+	if byTime {
+		return out + sec
+	}
+	return out + sec*m.PriceOf(cs).CPUPerSec
+}
+
+// deliveryCost prices shipping the final result from the root executor to
+// the user.
+func deliveryCost(an *core.Analysis, root algebra.Node, s authz.Subject, m *cost.Model, byTime bool) float64 {
+	if m.User == "" || s == m.User {
+		return 0
+	}
+	bytes := root.Stats().Bytes(root.Schema())
+	if byTime {
+		if m.BandwidthBps != nil {
+			return bytes * 8 / m.BandwidthBps(s, m.User)
+		}
+		return 0
+	}
+	return bytes * m.NetPerByte(s, m.User)
+}
+
+// Exhaustive enumerates every assignment in the candidate sets and returns
+// the one with minimal exact cost (building the extension for each). It is
+// exponential and intended for tests and small plans, validating the DP.
+func Exhaustive(sys *core.System, an *core.Analysis, m *cost.Model) (*Result, error) {
+	if err := an.Feasible(); err != nil {
+		return nil, err
+	}
+	var ops []algebra.Node
+	algebra.PostOrder(an.Root, func(n algebra.Node) {
+		if len(n.Children()) > 0 {
+			ops = append(ops, n)
+		}
+	})
+	bestCost := math.Inf(1)
+	var bestRes *Result
+	lambda := make(core.Assignment)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(ops) {
+			ext, err := sys.Extend(an, lambda)
+			if err != nil {
+				return err
+			}
+			br := cost.OfPlan(ext.Root, ExtendedExecutor(ext), ext.Schemes, ext.Profiles, m)
+			if br.Total() < bestCost {
+				cp := make(core.Assignment, len(lambda))
+				for k, v := range lambda {
+					cp[k] = v
+				}
+				bestRes = &Result{Lambda: cp, Extended: ext, Cost: br}
+				bestCost = br.Total()
+			}
+			return nil
+		}
+		for _, s := range an.Candidates[ops[i]] {
+			lambda[ops[i]] = s
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return bestRes, nil
+}

@@ -1,0 +1,261 @@
+package authz
+
+import (
+	"strings"
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/profile"
+)
+
+var (
+	hS = algebra.A("Hosp", "S")
+	hB = algebra.A("Hosp", "B")
+	hD = algebra.A("Hosp", "D")
+	hT = algebra.A("Hosp", "T")
+	iC = algebra.A("Ins", "C")
+	iP = algebra.A("Ins", "P")
+)
+
+func set(attrs ...algebra.Attr) algebra.AttrSet { return algebra.NewAttrSet(attrs...) }
+
+// RunningExamplePolicy builds the authorizations of Figure 1(b).
+func runningExamplePolicy(t testing.TB) *Policy {
+	p := NewPolicy()
+	grants := []struct {
+		rel        string
+		subj       Subject
+		plain, enc []string
+	}{
+		{"Hosp", "H", []string{"S", "B", "D", "T"}, nil},
+		{"Hosp", "I", []string{"B"}, []string{"S", "D", "T"}},
+		{"Hosp", "U", []string{"S", "D", "T"}, nil},
+		{"Hosp", "X", []string{"D", "T"}, []string{"S"}},
+		{"Hosp", "Y", []string{"B", "D", "T"}, []string{"S"}},
+		{"Hosp", "Z", []string{"S", "T"}, []string{"D"}},
+		{"Hosp", Any, []string{"D", "T"}, nil},
+		{"Ins", "H", []string{"C"}, []string{"P"}},
+		{"Ins", "I", []string{"C", "P"}, nil},
+		{"Ins", "U", []string{"C", "P"}, nil},
+		{"Ins", "X", nil, []string{"C", "P"}},
+		{"Ins", "Y", []string{"P"}, []string{"C"}},
+		{"Ins", "Z", []string{"C"}, []string{"P"}},
+		{"Ins", Any, nil, []string{"P"}},
+	}
+	for _, g := range grants {
+		if err := p.Grant(g.rel, g.subj, g.plain, g.enc); err != nil {
+			t.Fatalf("Grant(%s, %s): %v", g.rel, g.subj, err)
+		}
+	}
+	return p
+}
+
+// TestFigure4Views checks the overall views P_S / E_S of Figure 4.
+func TestFigure4Views(t *testing.T) {
+	p := runningExamplePolicy(t)
+	cases := []struct {
+		subj Subject
+		P, E algebra.AttrSet
+	}{
+		{"H", set(hS, hB, hD, hT, iC), set(iP)},
+		{"I", set(hB, iC, iP), set(hS, hD, hT)},
+		{"U", set(hS, hD, hT, iC, iP), set()},
+		{"X", set(hD, hT), set(hS, iC, iP)},
+		{"Y", set(hB, hD, hT, iP), set(hS, iC)},
+		{"Z", set(hS, hT, iC), set(hD, iP)},
+		{Any, set(hD, hT), set(iP)},
+	}
+	for _, c := range cases {
+		v := p.View(c.subj)
+		if !v.P.Equal(c.P) {
+			t.Errorf("P_%s = %v, want %v", c.subj, v.P, c.P)
+		}
+		if !v.E.Equal(c.E) {
+			t.Errorf("E_%s = %v, want %v", c.subj, v.E, c.E)
+		}
+	}
+	// A subject with no explicit rules falls back to the 'any' rules.
+	w := p.View("W")
+	if !w.P.Equal(set(hD, hT)) || !w.E.Equal(set(iP)) {
+		t.Errorf("view of unknown subject = %v", w)
+	}
+}
+
+// TestExample41 reproduces Example 4.1: relation R with profile
+// [P, BSC, ∅, ∅, {SC}].
+func TestExample41(t *testing.T) {
+	pol := runningExamplePolicy(t)
+	pr := profile.Profile{
+		VP: set(iP),
+		VE: set(hB, hS, iC),
+		IP: set(), IE: set(),
+		Eq: profile.NewEquivSets(),
+	}
+	pr.Eq.Union(set(hS, iC))
+
+	if err := pol.View("Y").Check(pr); err != nil {
+		t.Errorf("Y should be authorized: %v", err)
+	}
+	if err := pol.View("H").Check(pr); err == nil {
+		t.Errorf("H should be denied (condition 1, attribute P)")
+	} else if d := err.(*DenialReason); d.Condition != 1 || !d.Attrs.Has(iP) {
+		t.Errorf("H denial = %v", err)
+	}
+	if err := pol.View("U").Check(pr); err == nil {
+		t.Errorf("U should be denied (condition 2, attribute B)")
+	} else if d := err.(*DenialReason); d.Condition != 2 || !d.Attrs.Has(hB) {
+		t.Errorf("U denial = %v", err)
+	}
+	if err := pol.View("I").Check(pr); err == nil {
+		t.Errorf("I should be denied (condition 3, attributes SC)")
+	} else if d := err.(*DenialReason); d.Condition != 3 {
+		t.Errorf("I denial = %v", err)
+	}
+}
+
+func TestPlaintextImpliesEncryptedVisibility(t *testing.T) {
+	// A subject authorized for plaintext on an attribute may also access its
+	// encrypted version (condition 2 checks against P ∪ E).
+	pol := NewPolicy()
+	pol.MustGrant("R", "S", []string{"a"}, nil)
+	pr := profile.Profile{VP: set(), VE: set(algebra.A("R", "a")), IP: set(), IE: set(), Eq: profile.NewEquivSets()}
+	if !pol.View("S").Authorized(pr) {
+		t.Errorf("plaintext authorization must imply encrypted visibility")
+	}
+}
+
+func TestUniformVisibilityCountersIntuition(t *testing.T) {
+	// Section 4's observation: I (plaintext C, encrypted S) is denied while
+	// Y (encrypted on both) is authorized for the same relation.
+	pol := runningExamplePolicy(t)
+	pr := profile.Profile{VP: set(), VE: set(hS, iC), IP: set(), IE: set(), Eq: profile.NewEquivSets()}
+	pr.Eq.Union(set(hS, iC))
+	if !pol.View("Y").Authorized(pr) {
+		t.Errorf("Y should be authorized")
+	}
+	if pol.View("I").Authorized(pr) {
+		t.Errorf("I should be denied by uniform visibility")
+	}
+}
+
+func TestUniformVisibilityAppliesToInvisibleAttrs(t *testing.T) {
+	// Uniform visibility must hold for all attributes of an equivalence set
+	// even when they no longer belong to the schema.
+	pol := NewPolicy()
+	pol.MustGrant("R", "S", []string{"a", "b"}, nil)
+	pol.MustGrant("Q", "S", nil, []string{"c"})
+	pr := profile.Profile{VP: set(algebra.A("R", "a")), VE: set(), IP: set(), IE: set(), Eq: profile.NewEquivSets()}
+	// b ≃ c, with b plaintext-authorized and c encrypted-only: non-uniform.
+	pr.Eq.Union(set(algebra.A("R", "b"), algebra.A("Q", "c")))
+	if err := pol.View("S").Check(pr); err == nil {
+		t.Errorf("non-uniform equivalence over invisible attributes should deny")
+	}
+}
+
+func TestGrantValidation(t *testing.T) {
+	pol := NewPolicy()
+	if err := pol.Grant("R", "S", []string{"a"}, []string{"a"}); err == nil {
+		t.Errorf("overlapping P and E must be rejected")
+	}
+	pol.MustGrant("R", "S", []string{"a"}, nil)
+	if err := pol.Grant("R", "S", []string{"b"}, nil); err == nil {
+		t.Errorf("duplicate authorization for a subject must be rejected")
+	}
+}
+
+func TestRuleLookupAndDefaults(t *testing.T) {
+	pol := NewPolicy()
+	pol.MustGrant("R", "S", []string{"a"}, nil)
+	pol.MustGrant("R", Any, nil, []string{"a"})
+	if r := pol.Rule("R", "S"); r == nil || !r.Plain.Has(algebra.A("R", "a")) {
+		t.Errorf("explicit rule not found")
+	}
+	if r := pol.Rule("R", "T"); r == nil || !r.Enc.Has(algebra.A("R", "a")) {
+		t.Errorf("any rule not applied")
+	}
+	if r := pol.Rule("Q", "S"); r != nil {
+		t.Errorf("unknown relation should have no rule")
+	}
+	pol2 := NewPolicy()
+	pol2.MustGrant("R", "S", []string{"a"}, nil)
+	if r := pol2.Rule("R", "T"); r != nil {
+		t.Errorf("closed policy: no rule for unlisted subject without any-default")
+	}
+}
+
+func TestPolicyEnumerations(t *testing.T) {
+	pol := runningExamplePolicy(t)
+	rels := pol.Relations()
+	if len(rels) != 2 || rels[0] != "Hosp" || rels[1] != "Ins" {
+		t.Errorf("Relations = %v", rels)
+	}
+	subs := pol.Subjects()
+	want := []Subject{"H", "I", "U", "X", "Y", "Z"}
+	if len(subs) != len(want) {
+		t.Fatalf("Subjects = %v", subs)
+	}
+	for i := range want {
+		if subs[i] != want[i] {
+			t.Errorf("Subjects[%d] = %s, want %s", i, subs[i], want[i])
+		}
+	}
+}
+
+func TestAuthorizedAssignee(t *testing.T) {
+	pol := runningExamplePolicy(t)
+	// Operand: plaintext SDT (the projection of Hosp); result adds implicit D.
+	operand := profile.Profile{VP: set(hS, hD, hT), VE: set(), IP: set(), IE: set(), Eq: profile.NewEquivSets()}
+	result := profile.Profile{VP: set(hS, hD, hT), VE: set(), IP: set(hD), IE: set(), Eq: profile.NewEquivSets()}
+	// U has plaintext SDT: authorized assignee of the selection.
+	if !pol.View("U").AuthorizedAssignee([]profile.Profile{operand}, result) {
+		t.Errorf("U should be an authorized assignee")
+	}
+	// X lacks plaintext S.
+	if pol.View("X").AuthorizedAssignee([]profile.Profile{operand}, result) {
+		t.Errorf("X should not be an authorized assignee")
+	}
+	// A subject authorized for operands but not the result must be denied:
+	// result exposing B in plaintext.
+	result2 := profile.Profile{VP: set(hS, hD, hT, hB), VE: set(), IP: set(), IE: set(), Eq: profile.NewEquivSets()}
+	if pol.View("U").AuthorizedAssignee([]profile.Profile{operand}, result2) {
+		t.Errorf("U should be denied via the result profile")
+	}
+}
+
+func TestParseRule(t *testing.T) {
+	pol := NewPolicy()
+	if err := pol.ParseRule("Hosp", "[D,T ; S] -> X"); err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	v := pol.View("X")
+	if !v.P.Equal(set(hD, hT)) || !v.E.Equal(set(hS)) {
+		t.Errorf("parsed view = %v", v)
+	}
+	if err := pol.ParseRule("Ins", "[ ; P] → any"); err != nil {
+		t.Fatalf("ParseRule unicode arrow: %v", err)
+	}
+	if !pol.View("W").E.Has(iP) {
+		t.Errorf("any rule not applied after parse")
+	}
+	for _, bad := range []string{"", "[a] X", "a,b -> X", "[a;b] ->", "[a;a] -> X"} {
+		if err := pol.ParseRule("R", bad); err == nil {
+			t.Errorf("ParseRule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	pol := runningExamplePolicy(t)
+	r := pol.Rule("Hosp", "X")
+	if got := r.String(); !strings.Contains(got, "→X") || !strings.Contains(got, "DT") {
+		t.Errorf("rule string = %q", got)
+	}
+	v := pol.View("X")
+	if got := v.String(); !strings.Contains(got, "PX=") {
+		t.Errorf("view string = %q", got)
+	}
+	d := &DenialReason{Subject: "X", Condition: 3, Attrs: set(hS, iC)}
+	if !strings.Contains(d.Error(), "uniform") {
+		t.Errorf("denial string = %q", d.Error())
+	}
+}

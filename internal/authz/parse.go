@@ -1,0 +1,60 @@
+package authz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseRule parses a rule specification in a textual form of the paper's
+// [P,E]→S notation and adds it to the policy:
+//
+//	[a,b,c ; d,e] -> SUBJ
+//
+// where the part before ';' lists plaintext attributes, the part after lists
+// encrypted attributes (either may be empty), and SUBJ is the subject name
+// ('any' for the default rule). Both "->" and "→" are accepted.
+func (p *Policy) ParseRule(rel, spec string) error {
+	s := strings.TrimSpace(spec)
+	arrow := strings.Index(s, "->")
+	alen := 2
+	if arrow < 0 {
+		arrow = strings.Index(s, "→")
+		alen = len("→")
+	}
+	if arrow < 0 {
+		return fmt.Errorf("authz: rule %q: missing '->'", spec)
+	}
+	subject := Subject(strings.TrimSpace(s[arrow+alen:]))
+	if subject == "" {
+		return fmt.Errorf("authz: rule %q: empty subject", spec)
+	}
+	sets := strings.TrimSpace(s[:arrow])
+	if !strings.HasPrefix(sets, "[") || !strings.HasSuffix(sets, "]") {
+		return fmt.Errorf("authz: rule %q: attribute sets must be bracketed", spec)
+	}
+	sets = sets[1 : len(sets)-1]
+	var plainPart, encPart string
+	if i := strings.Index(sets, ";"); i >= 0 {
+		plainPart, encPart = sets[:i], sets[i+1:]
+	} else {
+		plainPart = sets
+	}
+	return p.Grant(rel, subject, splitNames(plainPart), splitNames(encPart))
+}
+
+// MustParseRule is ParseRule panicking on error.
+func (p *Policy) MustParseRule(rel, spec string) {
+	if err := p.ParseRule(rel, spec); err != nil {
+		panic(err)
+	}
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if n := strings.TrimSpace(part); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package authz
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/profile"
+)
+
+// randProfile builds a random profile over a small attribute universe.
+func randProfile(rnd *rand.Rand, universe []algebra.Attr) profile.Profile {
+	p := profile.New()
+	for _, a := range universe {
+		switch rnd.Intn(5) {
+		case 0:
+			p.VP.Add(a)
+		case 1:
+			p.VE.Add(a)
+		case 2:
+			p.IP.Add(a)
+		case 3:
+			p.IE.Add(a)
+		}
+	}
+	// A couple of random equivalence sets.
+	for k := 0; k < 2; k++ {
+		i, j := rnd.Intn(len(universe)), rnd.Intn(len(universe))
+		if i != j {
+			p.Eq.Union(algebra.NewAttrSet(universe[i], universe[j]))
+		}
+	}
+	return p
+}
+
+func universe() []algebra.Attr {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	out := make([]algebra.Attr, len(names))
+	for i, n := range names {
+		out[i] = algebra.A("R", n)
+	}
+	return out
+}
+
+// TestAuthorizationMonotoneInView: enlarging a subject's plaintext view
+// never revokes an authorization (plaintext visibility subsumes encrypted,
+// and uniform visibility can only become easier when a whole equivalence
+// set moves to plaintext). This is the monotonicity the paper's condition 2
+// relies on, tested over random profiles.
+func TestAuthorizationMonotoneInView(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	attrs := universe()
+	for trial := 0; trial < 500; trial++ {
+		pr := randProfile(rnd, attrs)
+
+		// Base view: random partition into P/E/none.
+		v := View{Subject: "S", P: algebra.NewAttrSet(), E: algebra.NewAttrSet()}
+		for _, a := range attrs {
+			switch rnd.Intn(3) {
+			case 0:
+				v.P.Add(a)
+			case 1:
+				v.E.Add(a)
+			}
+		}
+		if !v.Authorized(pr) {
+			continue
+		}
+		// Upgrade: all encrypted-visibility attributes become plaintext.
+		up := View{Subject: "S", P: v.P.Union(v.E), E: algebra.NewAttrSet()}
+		if !up.Authorized(pr) {
+			t.Fatalf("trial %d: upgrading E→P revoked authorization\nprofile %v\nview %v", trial, pr, v)
+		}
+	}
+}
+
+// TestDenialConditionsAreExhaustive: Check returns nil exactly when all
+// three conditions of Definition 4.1 hold, computed independently here.
+func TestDenialConditionsAreExhaustive(t *testing.T) {
+	rnd := rand.New(rand.NewSource(23))
+	attrs := universe()
+	for trial := 0; trial < 1000; trial++ {
+		pr := randProfile(rnd, attrs)
+		v := View{Subject: "S", P: algebra.NewAttrSet(), E: algebra.NewAttrSet()}
+		for _, a := range attrs {
+			switch rnd.Intn(3) {
+			case 0:
+				v.P.Add(a)
+			case 1:
+				v.E.Add(a)
+			}
+		}
+		c1 := pr.VP.Union(pr.IP).SubsetOf(v.P)
+		c2 := pr.VE.Union(pr.IE).SubsetOf(v.P.Union(v.E))
+		c3 := true
+		for _, A := range pr.Eq.Sets() {
+			if !A.SubsetOf(v.P) && !A.SubsetOf(v.E) {
+				c3 = false
+			}
+		}
+		want := c1 && c2 && c3
+		got := v.Authorized(pr)
+		if got != want {
+			t.Fatalf("trial %d: Authorized = %v, conditions = %v/%v/%v\nprofile %v\nview %v",
+				trial, got, c1, c2, c3, pr, v)
+		}
+		// The reported condition, when denied, must indeed be violated.
+		if err := v.Check(pr); err != nil {
+			d := err.(*DenialReason)
+			switch d.Condition {
+			case 1:
+				if c1 {
+					t.Fatalf("trial %d: reported condition 1 but it holds", trial)
+				}
+			case 2:
+				if c2 {
+					t.Fatalf("trial %d: reported condition 2 but it holds", trial)
+				}
+			case 3:
+				if c3 {
+					t.Fatalf("trial %d: reported condition 3 but it holds", trial)
+				}
+			}
+		}
+	}
+}
+
+// TestAnyDefaultNeverOverridesExplicit: an explicit (possibly empty-ish)
+// authorization always wins over the 'any' default.
+func TestAnyDefaultNeverOverridesExplicit(t *testing.T) {
+	pol := NewPolicy()
+	pol.MustGrant("R", "S", []string{"a"}, nil)
+	pol.MustGrant("R", Any, []string{"a", "b"}, []string{"c"})
+	v := pol.View("S")
+	if v.P.Has(algebra.A("R", "b")) || v.E.Has(algebra.A("R", "c")) {
+		t.Errorf("explicit rule diluted by the any default: %v", v)
+	}
+	// A different subject gets the default.
+	w := pol.View("T")
+	if !w.P.Has(algebra.A("R", "b")) || !w.E.Has(algebra.A("R", "c")) {
+		t.Errorf("any default not applied: %v", w)
+	}
+}

@@ -1,0 +1,94 @@
+package authz
+
+import (
+	"testing"
+
+	"mpq/internal/algebra"
+)
+
+// requesterFor wraps a policy as a request-based source, counting calls.
+func requesterFor(p *Policy, rels []string, calls *int) *Requester {
+	return NewRequester(rels, func(rel string, s Subject) *Authorization {
+		*calls++
+		return p.Rule(rel, s)
+	})
+}
+
+// TestRequesterMatchesPolicyViews: the confidential request-based approach
+// resolves exactly the views the published policy yields (Section 6: "our
+// proposal is independent of the specific approach adopted").
+func TestRequesterMatchesPolicyViews(t *testing.T) {
+	p := NewPolicy()
+	p.MustGrant("Hosp", "U", []string{"S", "D", "T"}, nil)
+	p.MustGrant("Hosp", "X", []string{"D", "T"}, []string{"S"})
+	p.MustGrant("Hosp", Any, []string{"D"}, nil)
+
+	calls := 0
+	r := requesterFor(p, []string{"Hosp"}, &calls)
+	for _, s := range []Subject{"U", "X", "W"} {
+		want := p.View(s)
+		got := r.View(s)
+		if !got.P.Equal(want.P) || !got.E.Equal(want.E) {
+			t.Errorf("%s: requester view %v != policy view %v", s, got, want)
+		}
+	}
+	if rels := r.Relations(); len(rels) != 1 || rels[0] != "Hosp" {
+		t.Errorf("Relations = %v", rels)
+	}
+}
+
+// TestRequesterCachesResponses: one request per (relation, subject),
+// including cached denials.
+func TestRequesterCachesResponses(t *testing.T) {
+	p := NewPolicy()
+	p.MustGrant("R", "S", []string{"a"}, nil)
+	calls := 0
+	r := requesterFor(p, []string{"R"}, &calls)
+	for i := 0; i < 5; i++ {
+		r.View("S")
+		r.View("unknown") // denial
+	}
+	if calls != 2 {
+		t.Errorf("requests = %d, want 2 (one per subject)", calls)
+	}
+	if r.Requests() != 2 {
+		t.Errorf("Requests() = %d", r.Requests())
+	}
+}
+
+// TestFederationUnionsAuthorities: a federation of a published policy and a
+// confidential requester produces the union of the granted views.
+func TestFederationUnionsAuthorities(t *testing.T) {
+	// Authority H publishes its policy on Hosp.
+	ph := NewPolicy()
+	ph.MustGrant("Hosp", "U", []string{"S", "D"}, nil)
+	ph.MustGrant("Hosp", "X", nil, []string{"S"})
+
+	// Authority I keeps Ins confidential behind authorization requests.
+	pi := NewPolicy()
+	pi.MustGrant("Ins", "U", []string{"C", "P"}, nil)
+	pi.MustGrant("Ins", "X", nil, []string{"C", "P"})
+	calls := 0
+	ri := requesterFor(pi, []string{"Ins"}, &calls)
+
+	fed := NewFederation(ph, ri)
+	u := fed.View("U")
+	if !u.P.Has(algebra.A("Hosp", "S")) || !u.P.Has(algebra.A("Ins", "P")) {
+		t.Errorf("federated view of U = %v", u)
+	}
+	x := fed.View("X")
+	if !x.E.Has(algebra.A("Hosp", "S")) || !x.E.Has(algebra.A("Ins", "C")) || !x.P.Empty() {
+		t.Errorf("federated view of X = %v", x)
+	}
+	if calls == 0 {
+		t.Errorf("the confidential authority was never consulted")
+	}
+
+	// Add a third authority later.
+	pz := NewPolicy()
+	pz.MustGrant("Extra", "U", []string{"z"}, nil)
+	fed.Add(pz)
+	if !fed.View("U").P.Has(algebra.A("Extra", "z")) {
+		t.Errorf("added member ignored")
+	}
+}

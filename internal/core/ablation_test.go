@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+)
+
+// TestMaxVisibilityCandidatesAreSubsets checks that disabling encryption
+// can only shrink candidate sets: Λ_plain(n) ⊆ Λ(n) (encryption enlarges
+// the space of authorized assignees — the point of Section 5).
+func TestMaxVisibilityCandidatesAreSubsets(t *testing.T) {
+	sys := exampleSystem()
+	root, nodes := examplePlan()
+	an := sys.Analyze(root, nil)
+	anMax := sys.AnalyzeMaxVisibility(root)
+
+	for name, n := range nodes {
+		if len(n.Children()) == 0 {
+			continue
+		}
+		lam := map[authz.Subject]bool{}
+		for _, s := range an.Candidates[n] {
+			lam[s] = true
+		}
+		for _, s := range anMax.Candidates[n] {
+			if !lam[s] {
+				t.Errorf("%s: %s in Λ_plain but not in Λ", name, s)
+			}
+		}
+	}
+	// Concretely: without encryption the join loses X and Z (encrypted-only
+	// view of S or P) and keeps only subjects with plaintext S, C.
+	joinMax := map[authz.Subject]bool{}
+	for _, s := range anMax.Candidates[nodes["join"]] {
+		joinMax[s] = true
+	}
+	if joinMax["X"] {
+		t.Errorf("X should not be a plaintext candidate for the join")
+	}
+	if !joinMax["U"] {
+		t.Errorf("U must remain a plaintext candidate")
+	}
+}
+
+// TestExtendMinVisibilityAuthorizedButHeavier checks that the
+// minimizing-visibility extension is authorized for the same assignment and
+// encrypts a superset of the attributes of the minimal extension
+// (Theorem 5.3 ii, with the minimum required views as the "other" plan).
+func TestExtendMinVisibilityAuthorizedButHeavier(t *testing.T) {
+	sys := exampleSystem()
+	root, nodes := examplePlan()
+	an := sys.Analyze(root, nil)
+	lambda := Assignment{
+		nodes["sel"]: "H", nodes["join"]: "X", nodes["grp"]: "X", nodes["hav"]: "Y",
+	}
+	minimal, err := sys.Extend(an, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maximal, err := sys.ExtendMinVisibility(an, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckAssignment(maximal.Root, maximal.Assign); err != nil {
+		t.Fatalf("min-visibility extension not authorized: %v", err)
+	}
+
+	encOf := func(root algebra.Node) algebra.AttrSet {
+		out := algebra.NewAttrSet()
+		algebra.PostOrder(root, func(n algebra.Node) {
+			if e, ok := n.(*algebra.Encrypt); ok {
+				out.Add(e.Attrs...)
+			}
+		})
+		return out
+	}
+	minAttrs, maxAttrs := encOf(minimal.Root), encOf(maximal.Root)
+	if !minAttrs.SubsetOf(maxAttrs) {
+		t.Errorf("minimal encrypts %v, not a subset of maximal %v", minAttrs, maxAttrs)
+	}
+	if len(maxAttrs) <= len(minAttrs) {
+		t.Errorf("min-visibility should encrypt strictly more: %v vs %v", maxAttrs, minAttrs)
+	}
+	// Both plans compute relations with identical visible schemas at the
+	// root (encryption state may differ).
+	if !algebra.SchemaSet(minimal.Root).Equal(algebra.SchemaSet(maximal.Root)) {
+		t.Errorf("schemas diverge")
+	}
+}
+
+// TestExtendMinVisibilityRejectsNonCandidate mirrors Extend's validation.
+func TestExtendMinVisibilityRejectsNonCandidate(t *testing.T) {
+	sys := exampleSystem()
+	root, nodes := examplePlan()
+	an := sys.Analyze(root, nil)
+	lambda := Assignment{
+		nodes["sel"]: "H", nodes["join"]: "I", nodes["grp"]: "U", nodes["hav"]: "U",
+	}
+	if _, err := sys.ExtendMinVisibility(an, lambda); err == nil {
+		t.Errorf("non-candidate accepted")
+	}
+}
+
+// TestMaxVisibilityProfilesArePlain checks the ablation analysis reuses the
+// plain profiles (no encrypted components anywhere).
+func TestMaxVisibilityProfilesArePlain(t *testing.T) {
+	sys := exampleSystem()
+	root, _ := examplePlan()
+	an := sys.AnalyzeMaxVisibility(root)
+	algebra.PostOrder(root, func(n algebra.Node) {
+		pr := an.MinResult[n]
+		if !pr.VE.Empty() || !pr.IE.Empty() {
+			t.Errorf("%s: encrypted components in max-visibility profile: %v", n.Op(), pr)
+		}
+	})
+}

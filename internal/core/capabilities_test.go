@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/sql"
+)
+
+// TestNoCryptoCandidatesContainMaxVisibility: NoCrypto disables computation
+// over ciphertexts (every operation's inputs join Ap), but encryption still
+// protects attributes the operations do not touch while they travel. The
+// regular analysis under NoCrypto therefore admits every plaintext-only
+// candidate, and possibly more (e.g. Y can host the running example's
+// group-by because S and C — untouched by γ — stay encrypted in transit).
+func TestNoCryptoCandidatesContainMaxVisibility(t *testing.T) {
+	sys := exampleSystem()
+	sys.Caps = NoCrypto()
+	root, nodes := examplePlan()
+	an := sys.Analyze(root, nil)
+	anMax := sys.AnalyzeMaxVisibility(root)
+
+	for _, name := range []string{"sel", "join", "grp", "hav"} {
+		n := nodes[name]
+		got := map[authz.Subject]bool{}
+		for _, s := range an.Candidates[n] {
+			got[s] = true
+		}
+		for _, s := range anMax.Candidates[n] {
+			if !got[s] {
+				t.Errorf("%s: %s in plaintext candidates but missing under NoCrypto", name, s)
+			}
+		}
+	}
+	// And the protection of untouched attributes genuinely matters: Y is a
+	// NoCrypto candidate for the group-by but not a plaintext-only one.
+	inPlain := false
+	for _, s := range anMax.Candidates[nodes["grp"]] {
+		if s == "Y" {
+			inPlain = true
+		}
+	}
+	inNoCrypto := false
+	for _, s := range an.Candidates[nodes["grp"]] {
+		if s == "Y" {
+			inNoCrypto = true
+		}
+	}
+	if inPlain || !inNoCrypto {
+		t.Errorf("expected Y only under NoCrypto (plaintext-only: %v, nocrypto: %v)", inPlain, inNoCrypto)
+	}
+}
+
+// TestCustomRequirements: callers may pass their own Ap sets (the paper's
+// "the optimizer specifies the need for maintaining data in plaintext"),
+// overriding the defaults.
+func TestCustomRequirements(t *testing.T) {
+	sys := exampleSystem()
+	root, nodes := examplePlan()
+
+	// Force the join to need S and C in plaintext.
+	reqs := Requirements(root, sys.Caps)
+	reqs[nodes["join"]] = set(hS, iC)
+	an := sys.Analyze(root, reqs)
+
+	// X (encrypted-only view of S and C) loses its join candidacy.
+	for _, s := range an.Candidates[nodes["join"]] {
+		if s == "X" {
+			t.Errorf("X should be excluded when the join needs plaintext S, C")
+		}
+	}
+	// The minimum required view over Ins now keeps C plaintext.
+	mv := an.MinViews[nodes["join"]][1]
+	if !mv.VP.Has(iC) {
+		t.Errorf("min view should keep C plaintext: %v", mv)
+	}
+}
+
+// TestCapabilityMatrix: each capability toggles exactly its operation class.
+func TestCapabilityMatrix(t *testing.T) {
+	ra := algebra.A("R", "a")
+	base := algebra.NewBase("R", "A1", []algebra.Attr{ra}, 10, nil)
+
+	type tc struct {
+		name    string
+		node    algebra.Node
+		disable func(*Capabilities)
+	}
+	eqSel := algebra.NewSelect(base, eqPred(ra), 0.5)
+	rngSel := algebra.NewSelect(base, rangePred(ra), 0.5)
+	cases := []tc{
+		{"equality", eqSel, func(c *Capabilities) { c.Equality = false }},
+		{"range", rngSel, func(c *Capabilities) { c.Range = false }},
+	}
+	for _, c := range cases {
+		capsOn := DefaultCapabilities()
+		if !Requirements(c.node, capsOn)[c.node].Empty() {
+			t.Errorf("%s: plaintext required with full capabilities", c.name)
+		}
+		capsOff := DefaultCapabilities()
+		c.disable(&capsOff)
+		if !Requirements(c.node, capsOff)[c.node].Has(ra) {
+			t.Errorf("%s: plaintext not required with the capability disabled", c.name)
+		}
+	}
+}
+
+func eqPred(a algebra.Attr) algebra.Pred {
+	return &algebra.CmpAV{A: a, Op: sql.OpEq, V: sql.NumberValue(1)}
+}
+
+func rangePred(a algebra.Attr) algebra.Pred {
+	return &algebra.CmpAV{A: a, Op: sql.OpGt, V: sql.NumberValue(1)}
+}

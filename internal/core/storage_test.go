@@ -1,0 +1,161 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/sql"
+)
+
+// storedPlan builds the running example with Hosp stored at the third-party
+// storage provider W: S and D are encrypted at rest under key kStore (the
+// paper's concluding extension — source relations not stored at the
+// corresponding data authority, possibly in encrypted form).
+func storedPlan() (algebra.Node, map[string]algebra.Node) {
+	hosp := algebra.NewStoredBase("Hosp", "H", "W",
+		[]algebra.Attr{hS, hD, hT}, []algebra.Attr{hS, hD}, "kStore", 1000, nil)
+	ins := algebra.NewBase("Ins", "I", []algebra.Attr{iC, iP}, 5000, nil)
+	sel := algebra.NewSelect(hosp, &algebra.CmpAV{A: hD, Op: sql.OpEq, V: sql.StringValue("stroke")}, 0.1)
+	join := algebra.NewJoin(sel, ins, &algebra.CmpAA{L: hS, Op: sql.OpEq, R: iC}, 0.0002)
+	grp := algebra.NewGroupBy1(join, []algebra.Attr{hT}, sql.AggAvg, iP, false, 10)
+	hav := algebra.NewSelect(grp, &algebra.CmpAV{A: iP, Op: sql.OpGt, V: sql.NumberValue(100), Agg: sql.AggAvg}, 0.5)
+	return hav, map[string]algebra.Node{
+		"hosp": hosp, "ins": ins, "sel": sel, "join": join, "grp": grp, "hav": hav,
+	}
+}
+
+// storagePolicy extends the running example policy with the storage
+// provider W, authorized consistently with the stored form it hosts:
+// plaintext on T (stored plaintext), encrypted on the rest.
+func storagePolicy() *authz.Policy {
+	p := examplePolicy()
+	p.MustGrant("Hosp", "W", []string{"T"}, []string{"S", "B", "D"})
+	return p
+}
+
+func TestStoredBaseProfile(t *testing.T) {
+	root, nodes := storedPlan()
+	sys := NewSystem(storagePolicy(), "H", "I", "U", "W", "X", "Y", "Z")
+	an := sys.Analyze(root, nil)
+
+	// The leaf profile has S and D encrypted, T plaintext.
+	leaf := an.Profiles[nodes["hosp"]]
+	if !leaf.VE.Equal(set(hS, hD)) || !leaf.VP.Equal(set(hT)) {
+		t.Fatalf("stored leaf profile = %v", leaf)
+	}
+	if err := an.Feasible(); err != nil {
+		t.Fatalf("stored plan infeasible: %v", err)
+	}
+}
+
+func TestStoredBaseRequirements(t *testing.T) {
+	// The at-rest scheme is deterministic: equality over D works encrypted,
+	// but a range over D would require decryption.
+	hosp := algebra.NewStoredBase("Hosp", "H", "W",
+		[]algebra.Attr{hS, hD}, []algebra.Attr{hD}, "kStore", 1000, nil)
+	eq := algebra.NewSelect(hosp, &algebra.CmpAV{A: hD, Op: sql.OpEq, V: sql.StringValue("x")}, 0.1)
+	if !Requirements(eq, DefaultCapabilities())[eq].Empty() {
+		t.Errorf("equality over det-stored attribute should not need plaintext")
+	}
+	rng := algebra.NewSelect(hosp, &algebra.CmpAV{A: hD, Op: sql.OpGt, V: sql.StringValue("x")}, 0.3)
+	if !Requirements(rng, DefaultCapabilities())[rng].Has(hD) {
+		t.Errorf("range over det-stored attribute must need plaintext")
+	}
+	// Sum over a det-stored attribute needs plaintext too.
+	grp := algebra.NewGroupBy1(hosp, []algebra.Attr{hS}, sql.AggSum, hD, false, 10)
+	if !Requirements(grp, DefaultCapabilities())[grp].Has(hD) {
+		t.Errorf("sum over det-stored attribute must need plaintext")
+	}
+}
+
+func TestStoredBaseExtensionAndKeys(t *testing.T) {
+	root, nodes := storedPlan()
+	sys := NewSystem(storagePolicy(), "H", "I", "U", "W", "X", "Y", "Z")
+	an := sys.Analyze(root, nil)
+
+	// X can run the selection and join over the stored ciphertexts.
+	found := false
+	for _, s := range an.Candidates[nodes["join"]] {
+		if s == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("X should be a candidate for the join: %v", an.Candidates[nodes["join"]])
+	}
+
+	lambda := Assignment{
+		nodes["sel"]: "X", nodes["join"]: "X", nodes["grp"]: "X", nodes["hav"]: "Y",
+	}
+	ext, err := sys.Extend(an, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.CheckAssignment(ext.Root, ext.Assign); err != nil {
+		t.Fatalf("stored-base extension not authorized: %v", err)
+	}
+
+	// The S≃C cluster contains the stored-encrypted S: it must adopt the
+	// storage key, and the authority H must be among its holders (it owns
+	// the at-rest key material).
+	var cluster *Key
+	for i := range ext.Keys {
+		if ext.Keys[i].Attrs.Has(hS) {
+			cluster = &ext.Keys[i]
+		}
+	}
+	if cluster == nil {
+		t.Fatalf("no key cluster for S: %+v", ext.Keys)
+	}
+	if cluster.ID != "kStore" {
+		t.Errorf("cluster key = %s, want the storage key kStore", cluster.ID)
+	}
+	holdsH := false
+	for _, h := range cluster.Holders {
+		if h == "H" {
+			holdsH = true
+		}
+	}
+	if !holdsH {
+		t.Errorf("authority H must hold the storage key: %v", cluster.Holders)
+	}
+	// C is encrypted (by I) under the same storage key so the join works.
+	algebra.PostOrder(ext.Root, func(n algebra.Node) {
+		if e, ok := n.(*algebra.Encrypt); ok {
+			for _, a := range e.Attrs {
+				if a == iC && e.KeyIDs[a] != "kStore" {
+					t.Errorf("C encrypted under %s, want kStore", e.KeyIDs[a])
+				}
+			}
+		}
+	})
+	// The stored attributes are deterministically encrypted.
+	if ext.Schemes[hS] != algebra.SchemeDeterministic || ext.Schemes[hD] != algebra.SchemeDeterministic {
+		t.Errorf("stored schemes = %v / %v", ext.Schemes[hS], ext.Schemes[hD])
+	}
+}
+
+func TestStorageProviderAuthorizationChecked(t *testing.T) {
+	// A storage provider with no authorization on the relation must be
+	// rejected by the assignment check.
+	root, nodes := storedPlan()
+	pol := examplePolicy() // no grant for W at all
+	sys := NewSystem(pol, "H", "I", "U", "W", "X", "Y", "Z")
+	an := sys.Analyze(root, nil)
+	lambda := Assignment{
+		nodes["sel"]: "U", nodes["join"]: "U", nodes["grp"]: "U", nodes["hav"]: "U",
+	}
+	ext, err := sys.Extend(an, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sys.CheckAssignment(ext.Root, ext.Assign)
+	if err == nil {
+		t.Fatalf("unauthorized storage provider accepted")
+	}
+	if !strings.Contains(err.Error(), "storage provider W") {
+		t.Errorf("err = %v", err)
+	}
+}

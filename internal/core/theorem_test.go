@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/plangen"
+	"mpq/internal/profile"
+)
+
+// randomSystem builds a random policy over the given relations for a user
+// "U" (full plaintext — users need access to query results), the data
+// authorities (full plaintext on their own relations), and nProviders
+// providers with random per-attribute visibility.
+func randomSystem(rels []*algebra.Relation, nProviders int, rnd *rand.Rand) *System {
+	pol := authz.NewPolicy()
+	subjects := []authz.Subject{"U"}
+	for _, r := range rels {
+		var all []string
+		for _, c := range r.Columns {
+			all = append(all, c.Name)
+		}
+		pol.MustGrant(r.Name, authz.Subject(r.Authority), all, nil)
+		pol.MustGrant(r.Name, "U", all, nil)
+	}
+	for _, r := range rels {
+		subjects = append(subjects, authz.Subject(r.Authority))
+	}
+	for i := 0; i < nProviders; i++ {
+		s := authz.Subject("P" + string(rune('0'+i)))
+		subjects = append(subjects, s)
+		for _, r := range rels {
+			var plain, enc []string
+			for _, c := range r.Columns {
+				switch rnd.Intn(3) {
+				case 0:
+					plain = append(plain, c.Name)
+				case 1:
+					enc = append(enc, c.Name)
+				}
+			}
+			pol.MustGrant(r.Name, s, plain, enc)
+		}
+	}
+	return NewSystem(pol, subjects...)
+}
+
+func subjectSet(list []authz.Subject) map[authz.Subject]bool {
+	m := make(map[authz.Subject]bool, len(list))
+	for _, s := range list {
+		m[s] = true
+	}
+	return m
+}
+
+// TestTheorem51CandidateMonotonicity verifies Theorem 5.1 on random plans
+// and policies: for every node n whose min-view operands have all their
+// plaintext attributes implicit in n's result, the candidate set of every
+// ancestor is a subset of Λ(n). Like Theorem 3.1, the theorem relies on the
+// paper's assumption that projections are pushed down into the leaves (an
+// internal projection can drop an attribute from the profile entirely,
+// enlarging ancestor candidate sets), so conforming plans are generated.
+func TestTheorem51CandidateMonotonicity(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		g := plangen.New(plangen.Config{
+			Relations: 1 + int(seed%3), AttrsPerRel: 3, ExtraOps: 2 + int(seed%4),
+			UDFs: true, Conform: true, Seed: seed,
+		})
+		rels := g.Relations()
+		root := g.Plan(rels)
+		sys := randomSystem(rels, 3, g.Rand())
+		an := sys.Analyze(root, nil)
+
+		var walk func(n algebra.Node, ancestors []algebra.Node)
+		walk = func(n algebra.Node, ancestors []algebra.Node) {
+			if len(n.Children()) > 0 {
+				// Premise: Rvp_l ∪ Rvp_r ⊆ Rip of n's min result.
+				vp := algebra.NewAttrSet()
+				for _, mv := range an.MinViews[n] {
+					vp = vp.Union(mv.VP)
+				}
+				if vp.SubsetOf(an.MinResult[n].IP) {
+					lam := subjectSet(an.Candidates[n])
+					for _, anc := range ancestors {
+						for _, s := range an.Candidates[anc] {
+							if !lam[s] {
+								t.Fatalf("seed %d: Thm 5.1 violated: %s ∈ Λ(%s) but ∉ Λ(%s)",
+									seed, s, anc.Op(), n.Op())
+							}
+						}
+					}
+				}
+			}
+			next := append(append([]algebra.Node{}, ancestors...), n)
+			for _, c := range n.Children() {
+				walk(c, next)
+			}
+		}
+		walk(root, nil)
+	}
+}
+
+// TestTheorem52Completeness verifies Theorem 5.2(ii) on random plans and
+// policies: any assignment drawn from Λ can be made authorized by the
+// minimally extended plan (the extension passes Definition 4.2 checks and
+// provides the required plaintext attributes).
+func TestTheorem52Completeness(t *testing.T) {
+	checked := 0
+	for seed := int64(0); seed < 150; seed++ {
+		g := plangen.New(plangen.Config{
+			Relations: 1 + int(seed%3), AttrsPerRel: 3, ExtraOps: 2 + int(seed%4),
+			UDFs: true, Seed: seed,
+		})
+		rels := g.Relations()
+		root := g.Plan(rels)
+		rnd := g.Rand()
+		sys := randomSystem(rels, 3, rnd)
+		an := sys.Analyze(root, nil)
+		if an.Feasible() != nil {
+			continue
+		}
+		// Draw three random assignments per plan.
+		for trial := 0; trial < 3; trial++ {
+			lambda := make(Assignment)
+			algebra.PostOrder(root, func(n algebra.Node) {
+				if len(n.Children()) == 0 {
+					return
+				}
+				cands := an.Candidates[n]
+				lambda[n] = cands[rnd.Intn(len(cands))]
+			})
+			ext, err := sys.Extend(an, lambda)
+			if err != nil {
+				t.Fatalf("seed %d: Extend: %v", seed, err)
+			}
+			if err := sys.CheckAssignment(ext.Root, ext.Assign); err != nil {
+				t.Fatalf("seed %d trial %d: extension not authorized: %v\n%s",
+					seed, trial, err, an.Format(ext))
+			}
+			if err := CheckPlaintextAvailability(ext.Root, an.Reqs, ext.Source); err != nil {
+				t.Fatalf("seed %d trial %d: %v", seed, trial, err)
+			}
+			checked++
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d assignments exercised; generator too restrictive", checked)
+	}
+}
+
+// TestTheorem52Soundness exercises Theorem 5.2(i) in its contrapositive
+// form: assigning an operation to a subject outside its candidate set
+// cannot be made authorized — the unextended plan fails the Definition 4.2
+// check for that subject, and Extend refuses the assignment.
+func TestTheorem52Soundness(t *testing.T) {
+	falsified := 0
+	for seed := int64(0); seed < 100; seed++ {
+		g := plangen.New(plangen.Config{
+			Relations: 1 + int(seed%3), AttrsPerRel: 3, ExtraOps: 2 + int(seed%4),
+			UDFs: true, Seed: seed,
+		})
+		rels := g.Relations()
+		root := g.Plan(rels)
+		rnd := g.Rand()
+		sys := randomSystem(rels, 3, rnd)
+		an := sys.Analyze(root, nil)
+		if an.Feasible() != nil {
+			continue
+		}
+		algebra.PostOrder(root, func(n algebra.Node) {
+			if len(n.Children()) == 0 {
+				return
+			}
+			lam := subjectSet(an.Candidates[n])
+			for _, s := range sys.Subjects {
+				if lam[s] {
+					continue
+				}
+				// s ∉ Λ(n): it must not be an authorized assignee over the
+				// minimum required views (maximal protection compatible with
+				// execution), hence no extended plan can help it.
+				if an.Views[s].AuthorizedAssignee(an.MinViews[n], an.MinResult[n]) {
+					t.Fatalf("seed %d: %s excluded from Λ(%s) but authorized over min views", seed, s, n.Op())
+				}
+				// And Extend must refuse it.
+				lambda := make(Assignment)
+				algebra.PostOrder(root, func(m algebra.Node) {
+					if len(m.Children()) == 0 {
+						return
+					}
+					lambda[m] = an.Candidates[m][0]
+				})
+				lambda[n] = s
+				if _, err := sys.Extend(an, lambda); err == nil {
+					t.Fatalf("seed %d: Extend accepted non-candidate %s for %s", seed, s, n.Op())
+				}
+				falsified++
+			}
+		})
+	}
+	if falsified == 0 {
+		t.Skip("no non-candidate subjects generated")
+	}
+}
+
+// dropEncAttr rebuilds the plan removing attribute a from the given Encrypt
+// node (dropping the node entirely when it becomes empty), and rebuilds the
+// assignment map for the new node identities.
+func dropEncAttr(root algebra.Node, target *algebra.Encrypt, a algebra.Attr, assign Assignment) (algebra.Node, Assignment) {
+	newAssign := make(Assignment)
+	var rec func(n algebra.Node) algebra.Node
+	rec = func(n algebra.Node) algebra.Node {
+		children := n.Children()
+		newChildren := make([]algebra.Node, len(children))
+		for i, c := range children {
+			newChildren[i] = rec(c)
+		}
+		if n == algebra.Node(target) {
+			var keep []algebra.Attr
+			for _, x := range target.Attrs {
+				if x != a {
+					keep = append(keep, x)
+				}
+			}
+			if len(keep) == 0 {
+				return newChildren[0]
+			}
+			e := algebra.NewEncrypt(newChildren[0], keep)
+			for _, x := range keep {
+				e.Schemes[x] = target.Schemes[x]
+				e.KeyIDs[x] = target.KeyIDs[x]
+			}
+			newAssign[e] = assign[n]
+			return e
+		}
+		out := algebra.Rebuild(n, newChildren)
+		if s, ok := assign[n]; ok {
+			newAssign[out] = s
+		}
+		return out
+	}
+	return rec(root), newAssign
+}
+
+// TestTheorem53Minimality verifies Theorem 5.3(ii) in its local form: every
+// single attribute encrypted by the minimally extended plan is necessary —
+// removing it breaks the authorization of the assignment (or the plan's
+// visibility requirements).
+func TestTheorem53Minimality(t *testing.T) {
+	removals := 0
+	for seed := int64(0); seed < 120; seed++ {
+		g := plangen.New(plangen.Config{
+			Relations: 1 + int(seed%3), AttrsPerRel: 3, ExtraOps: 2 + int(seed%4),
+			UDFs: true, Seed: seed,
+		})
+		rels := g.Relations()
+		root := g.Plan(rels)
+		rnd := g.Rand()
+		sys := randomSystem(rels, 3, rnd)
+		an := sys.Analyze(root, nil)
+		if an.Feasible() != nil {
+			continue
+		}
+		lambda := make(Assignment)
+		algebra.PostOrder(root, func(n algebra.Node) {
+			if len(n.Children()) == 0 {
+				return
+			}
+			cands := an.Candidates[n]
+			// Prefer a non-user candidate to exercise encryption.
+			lambda[n] = cands[rnd.Intn(len(cands))]
+		})
+		ext, err := sys.Extend(an, lambda)
+		if err != nil {
+			t.Fatalf("seed %d: Extend: %v", seed, err)
+		}
+		var encNodes []*algebra.Encrypt
+		algebra.PostOrder(ext.Root, func(n algebra.Node) {
+			if e, ok := n.(*algebra.Encrypt); ok {
+				encNodes = append(encNodes, e)
+			}
+		})
+		for _, e := range encNodes {
+			for _, a := range e.Attrs {
+				mutRoot, mutAssign := dropEncAttr(ext.Root, e, a, ext.Assign)
+				if err := sys.CheckAssignment(mutRoot, mutAssign); err == nil {
+					t.Fatalf("seed %d: dropping encryption of %s at %s left the plan authorized\n%s",
+						seed, a, e.Op(), algebra.Format(ext.Root, nil))
+				}
+				removals++
+			}
+		}
+	}
+	if removals < 50 {
+		t.Skipf("only %d encryption removals exercised", removals)
+	}
+}
+
+// TestExtendedProfilesConsistency checks that the profiles recorded during
+// extension match a fresh profile computation over the extended plan.
+func TestExtendedProfilesConsistency(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := plangen.New(plangen.DefaultConfig(seed))
+		rels := g.Relations()
+		root := g.Plan(rels)
+		rnd := g.Rand()
+		sys := randomSystem(rels, 3, rnd)
+		an := sys.Analyze(root, nil)
+		if an.Feasible() != nil {
+			continue
+		}
+		lambda := make(Assignment)
+		algebra.PostOrder(root, func(n algebra.Node) {
+			if len(n.Children()) == 0 {
+				return
+			}
+			cands := an.Candidates[n]
+			lambda[n] = cands[rnd.Intn(len(cands))]
+		})
+		ext, err := sys.Extend(an, lambda)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := profile.ForPlan(ext.Root)
+		algebra.PostOrder(ext.Root, func(n algebra.Node) {
+			if !fresh[n].Equal(ext.Profiles[n]) {
+				t.Fatalf("seed %d: stored profile of %s diverges:\n stored %v\n fresh  %v",
+					seed, n.Op(), ext.Profiles[n], fresh[n])
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/sql"
+)
+
+// TestTypedRequirementsStringRanges verifies that with type information,
+// order comparisons and min/max over string attributes require plaintext
+// (OPE encodes numeric/date domains only), while numeric ranges stay
+// evaluable over ciphertexts.
+func TestTypedRequirementsStringRanges(t *testing.T) {
+	name := algebra.A("R", "name")
+	num := algebra.A("R", "num")
+	types := map[algebra.Attr]algebra.ColType{
+		name: algebra.TString,
+		num:  algebra.TFloat,
+	}
+	base := algebra.NewBase("R", "A1", []algebra.Attr{name, num}, 100, nil)
+
+	strRange := algebra.NewSelect(base, &algebra.CmpAV{A: name, Op: sql.OpGt, V: sql.StringValue("m")}, 0.5)
+	reqs := RequirementsTyped(strRange, DefaultCapabilities(), types)
+	if !reqs[strRange].Has(name) {
+		t.Errorf("string range should require plaintext")
+	}
+	// Without types, the untyped default assumes OPE works.
+	if Requirements(strRange, DefaultCapabilities())[strRange].Has(name) {
+		t.Errorf("untyped requirements changed behaviour")
+	}
+
+	numRange := algebra.NewSelect(base, &algebra.CmpAV{A: num, Op: sql.OpGt, V: sql.NumberValue(1)}, 0.5)
+	if RequirementsTyped(numRange, DefaultCapabilities(), types)[numRange].Has(num) {
+		t.Errorf("numeric range should not require plaintext")
+	}
+
+	// String equality stays encrypted-evaluable (deterministic).
+	strEq := algebra.NewSelect(base, &algebra.CmpAV{A: name, Op: sql.OpEq, V: sql.StringValue("x")}, 0.5)
+	if !RequirementsTyped(strEq, DefaultCapabilities(), types)[strEq].Empty() {
+		t.Errorf("string equality should not require plaintext")
+	}
+
+	// min over a string attribute requires plaintext with types.
+	grp := algebra.NewGroupBy1(base, []algebra.Attr{num}, sql.AggMin, name, false, 10)
+	if !RequirementsTyped(grp, DefaultCapabilities(), types)[grp].Has(name) {
+		t.Errorf("min over string should require plaintext")
+	}
+
+	// The System threads Types through Analyze.
+	sys := exampleSystem()
+	sys.Types = map[algebra.Attr]algebra.ColType{hT: algebra.TString}
+	root, nodes := examplePlan()
+	_ = nodes
+	an := sys.Analyze(root, nil)
+	if an.Reqs == nil {
+		t.Fatalf("no requirements computed")
+	}
+}
+
+// TestTypedRequirementsPairing: a string-ranged CmpAA forces both sides to
+// plaintext.
+func TestTypedRequirementsPairing(t *testing.T) {
+	a1 := algebra.A("R", "a")
+	a2 := algebra.A("S", "b")
+	types := map[algebra.Attr]algebra.ColType{a1: algebra.TString, a2: algebra.TString}
+	r := algebra.NewBase("R", "A1", []algebra.Attr{a1}, 10, nil)
+	s := algebra.NewBase("S", "A2", []algebra.Attr{a2}, 10, nil)
+	join := algebra.NewJoin(r, s, &algebra.CmpAA{L: a1, Op: sql.OpLt, R: a2}, 0.3)
+	reqs := RequirementsTyped(join, DefaultCapabilities(), types)
+	if !reqs[join].Has(a1) || !reqs[join].Has(a2) {
+		t.Errorf("string range join should need both sides plaintext: %v", reqs[join])
+	}
+}

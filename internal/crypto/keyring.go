@@ -1,0 +1,135 @@
+package crypto
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultPaillierBits is the prime size used for Paillier key pairs outside
+// tests (a 1024-bit modulus; the paper's tool estimated Paillier costs from
+// common benchmarks, and the cost model carries the computational factors).
+const DefaultPaillierBits = 512
+
+// KeyRing holds the key material of one query-plan key (Definition 6.1):
+// a symmetric master key from which the deterministic, randomized, and OPE
+// schemes derive subkeys, plus a Paillier key pair for additive aggregation.
+// A KeyRing may be public-only (Paillier public part, no symmetric master),
+// modelling a provider that can add ciphertexts but decrypt nothing.
+type KeyRing struct {
+	ID     string
+	Master []byte
+	PK     *Paillier
+
+	mu  sync.Mutex
+	det *Deterministic
+	rnd *Randomized
+	ope *OPE
+}
+
+// NewKeyRing generates the key material for one query-plan key.
+func NewKeyRing(id string, paillierBits int) (*KeyRing, error) {
+	master, err := NewKey()
+	if err != nil {
+		return nil, err
+	}
+	pk, err := GeneratePaillier(paillierBits)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyRing{ID: id, Master: master, PK: pk}, nil
+}
+
+// Public returns a copy of the ring a computation-only provider receives:
+// the Paillier public key, no symmetric material.
+func (k *KeyRing) Public() *KeyRing {
+	return &KeyRing{ID: k.ID, PK: k.PK.Public()}
+}
+
+// CanDecrypt reports whether the ring holds symmetric key material.
+func (k *KeyRing) CanDecrypt() bool { return len(k.Master) == KeySize }
+
+// Det returns the deterministic cipher of the ring.
+func (k *KeyRing) Det() (*Deterministic, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.det == nil {
+		if !k.CanDecrypt() {
+			return nil, fmt.Errorf("crypto: key %s: no symmetric material", k.ID)
+		}
+		d, err := NewDeterministic(k.Master)
+		if err != nil {
+			return nil, err
+		}
+		k.det = d
+	}
+	return k.det, nil
+}
+
+// Rnd returns the randomized cipher of the ring.
+func (k *KeyRing) Rnd() (*Randomized, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.rnd == nil {
+		if !k.CanDecrypt() {
+			return nil, fmt.Errorf("crypto: key %s: no symmetric material", k.ID)
+		}
+		r, err := NewRandomized(k.Master)
+		if err != nil {
+			return nil, err
+		}
+		k.rnd = r
+	}
+	return k.rnd, nil
+}
+
+// OPE returns the order-preserving cipher of the ring.
+func (k *KeyRing) OPE() (*OPE, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.ope == nil {
+		if !k.CanDecrypt() {
+			return nil, fmt.Errorf("crypto: key %s: no symmetric material", k.ID)
+		}
+		k.ope = NewOPE(k.Master)
+	}
+	return k.ope, nil
+}
+
+// KeyStore maps key identifiers to rings: the keys a given subject has been
+// communicated for a query-plan execution.
+type KeyStore struct {
+	mu    sync.RWMutex
+	rings map[string]*KeyRing
+}
+
+// NewKeyStore returns an empty store.
+func NewKeyStore() *KeyStore { return &KeyStore{rings: make(map[string]*KeyRing)} }
+
+// Add registers a ring.
+func (s *KeyStore) Add(r *KeyRing) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rings[r.ID] = r
+}
+
+// Get returns the ring for a key id, or an error when the subject does not
+// hold it.
+func (s *KeyStore) Get(id string) (*KeyRing, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if r, ok := s.rings[id]; ok {
+		return r, nil
+	}
+	return nil, fmt.Errorf("crypto: key %s not held", id)
+}
+
+// IDs returns the held key identifiers.
+func (s *KeyStore) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.rings))
+	for id := range s.rings {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package crypto
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+)
+
+// wireRing is the serialized form of a key ring. Paillier private material
+// travels only when the ring is full (symmetric master present): a
+// public-only ring serializes only the public parameters.
+type wireRing struct {
+	ID     string
+	Master []byte
+	N      *big.Int
+	Lambda *big.Int
+	Mu     *big.Int
+}
+
+// Marshal serializes the ring for inclusion in a dispatch message
+// (Figure 8: keys travel inside the signed, sealed envelope).
+func (k *KeyRing) Marshal() ([]byte, error) {
+	w := wireRing{ID: k.ID, Master: k.Master}
+	if k.PK != nil {
+		w.N = k.PK.N
+		if k.PK.HasPrivate() {
+			w.Lambda = k.PK.lambda
+			w.Mu = k.PK.mu
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+		return nil, fmt.Errorf("crypto: marshaling key ring %s: %w", k.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalKeyRing reverses Marshal.
+func UnmarshalKeyRing(data []byte) (*KeyRing, error) {
+	var w wireRing
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return nil, fmt.Errorf("crypto: unmarshaling key ring: %w", err)
+	}
+	if w.ID == "" {
+		return nil, fmt.Errorf("crypto: unmarshaling key ring: empty id")
+	}
+	ring := &KeyRing{ID: w.ID, Master: w.Master}
+	if w.N != nil {
+		pk := &Paillier{
+			N:  w.N,
+			N2: new(big.Int).Mul(w.N, w.N),
+			G:  new(big.Int).Add(w.N, big.NewInt(1)),
+		}
+		if w.Lambda != nil && w.Mu != nil {
+			pk.lambda, pk.mu = w.Lambda, w.Mu
+		}
+		ring.PK = pk
+	}
+	return ring, nil
+}

@@ -1,0 +1,162 @@
+package crypto
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Paillier implements the Paillier cryptosystem: public-key encryption with
+// additive homomorphism. Providers holding only the public key can add
+// ciphertexts (computing encrypted sums and averages) without learning the
+// operands, which is how sum/avg aggregates are evaluated over encrypted
+// attributes.
+type Paillier struct {
+	// Public key.
+	N  *big.Int // n = p·q
+	N2 *big.Int // n²
+	G  *big.Int // g = n + 1
+
+	// Private key (nil on a public-only copy).
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^λ mod n²))⁻¹ mod n
+}
+
+// ErrNoPrivateKey reports a decryption attempted with a public-only key.
+var ErrNoPrivateKey = errors.New("crypto: paillier: no private key")
+
+// GeneratePaillier generates a key pair with primes of the given bit size.
+// Bits of 512 gives a 1024-bit modulus; tests use smaller sizes for speed.
+func GeneratePaillier(bits int) (*Paillier, error) {
+	if bits < 16 {
+		return nil, fmt.Errorf("crypto: paillier: prime size %d too small", bits)
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(rand.Reader, bits)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		p1 := new(big.Int).Sub(p, big.NewInt(1))
+		q1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, p1, q1)
+		lambda := new(big.Int).Div(new(big.Int).Mul(p1, q1), gcd)
+
+		pk := &Paillier{
+			N:      n,
+			N2:     new(big.Int).Mul(n, n),
+			G:      new(big.Int).Add(n, big.NewInt(1)),
+			lambda: lambda,
+		}
+		// µ = (L(g^λ mod n²))⁻¹ mod n
+		u := new(big.Int).Exp(pk.G, lambda, pk.N2)
+		l := pk.lFunc(u)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue // degenerate pair; retry
+		}
+		pk.mu = mu
+		return pk, nil
+	}
+}
+
+// Public returns a copy of the key holding only the public part: it can
+// encrypt and add, but not decrypt.
+func (p *Paillier) Public() *Paillier {
+	return &Paillier{N: p.N, N2: p.N2, G: p.G}
+}
+
+// HasPrivate reports whether the key can decrypt.
+func (p *Paillier) HasPrivate() bool { return p.lambda != nil }
+
+// lFunc computes L(u) = (u - 1) / n.
+func (p *Paillier) lFunc(u *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(u, big.NewInt(1)), p.N)
+}
+
+// encodeSigned maps a signed message into Z_n (negative values wrap to the
+// top half of the group, decoded back by Decrypt).
+func (p *Paillier) encodeSigned(m *big.Int) *big.Int {
+	return new(big.Int).Mod(m, p.N)
+}
+
+// Encrypt encrypts a signed integer message. The message magnitude must be
+// below n/2 for unambiguous signed decoding.
+func (p *Paillier) Encrypt(m *big.Int) (*big.Int, error) {
+	half := new(big.Int).Rsh(p.N, 1)
+	if new(big.Int).Abs(m).Cmp(half) >= 0 {
+		return nil, fmt.Errorf("crypto: paillier: message magnitude exceeds n/2")
+	}
+	// r uniform in [1, n) with gcd(r, n) = 1.
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, p.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, p.N).Cmp(big.NewInt(1)) == 0 {
+			break
+		}
+	}
+	// c = g^m · r^n mod n²; with g = n+1, g^m = 1 + m·n mod n².
+	gm := new(big.Int).Mul(p.encodeSigned(m), p.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, p.N2)
+	rn := new(big.Int).Exp(r, p.N, p.N2)
+	c := new(big.Int).Mul(gm, rn)
+	c.Mod(c, p.N2)
+	return c, nil
+}
+
+// Decrypt recovers the signed message of a ciphertext.
+func (p *Paillier) Decrypt(c *big.Int) (*big.Int, error) {
+	if !p.HasPrivate() {
+		return nil, ErrNoPrivateKey
+	}
+	u := new(big.Int).Exp(c, p.lambda, p.N2)
+	m := p.lFunc(u)
+	m.Mul(m, p.mu)
+	m.Mod(m, p.N)
+	// Decode signed representation.
+	half := new(big.Int).Rsh(p.N, 1)
+	if m.Cmp(half) > 0 {
+		m.Sub(m, p.N)
+	}
+	return m, nil
+}
+
+// Add homomorphically adds two ciphertexts: Dec(Add(c1,c2)) = m1 + m2.
+func (p *Paillier) Add(c1, c2 *big.Int) *big.Int {
+	out := new(big.Int).Mul(c1, c2)
+	return out.Mod(out, p.N2)
+}
+
+// AddPlain homomorphically adds a plaintext constant to a ciphertext.
+func (p *Paillier) AddPlain(c *big.Int, m *big.Int) *big.Int {
+	gm := new(big.Int).Mul(p.encodeSigned(m), p.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, p.N2)
+	out := new(big.Int).Mul(c, gm)
+	return out.Mod(out, p.N2)
+}
+
+// MulPlain homomorphically multiplies a ciphertext by a plaintext constant:
+// Dec(MulPlain(c, k)) = m · k.
+func (p *Paillier) MulPlain(c *big.Int, k *big.Int) *big.Int {
+	return new(big.Int).Exp(c, p.encodeSigned(k), p.N2)
+}
+
+// EncryptZero returns a fresh encryption of zero (the neutral element for
+// homomorphic accumulation).
+func (p *Paillier) EncryptZero() (*big.Int, error) {
+	return p.Encrypt(big.NewInt(0))
+}

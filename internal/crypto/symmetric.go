@@ -1,0 +1,130 @@
+// Package crypto implements the four encryption techniques of the paper's
+// experimental setup (Section 7): randomized symmetric encryption (AES-CTR
+// with a random nonce), deterministic symmetric encryption (AES-CTR with a
+// synthetic nonce derived by HMAC, enabling equality over ciphertexts), a
+// Paillier cryptosystem (additive homomorphism for sum/avg aggregation over
+// ciphertexts), and an order-preserving encryption scheme (range conditions
+// over ciphertexts). The package also derives per-cluster key material for
+// the query-plan keys of Definition 6.1.
+package crypto
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the size in bytes of symmetric master keys.
+const KeySize = 32
+
+// ErrCiphertext reports a malformed or truncated ciphertext.
+var ErrCiphertext = errors.New("crypto: malformed ciphertext")
+
+// NewKey generates a fresh random master key.
+func NewKey() ([]byte, error) {
+	k := make([]byte, KeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, fmt.Errorf("crypto: generating key: %w", err)
+	}
+	return k, nil
+}
+
+// deriveKey derives a purpose-specific subkey from a master key, so the
+// deterministic, randomized, and OPE schemes of one cluster never share raw
+// key material.
+func deriveKey(master []byte, purpose string) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte("mpq/" + purpose))
+	return mac.Sum(nil)
+}
+
+// Randomized is a randomized symmetric cipher: AES-256-CTR with a fresh
+// random nonce per encryption. Ciphertexts of equal plaintexts are
+// unlinkable; no computation over ciphertexts is possible.
+type Randomized struct {
+	block cipher.Block
+}
+
+// NewRandomized constructs the randomized cipher for a master key.
+func NewRandomized(master []byte) (*Randomized, error) {
+	block, err := aes.NewCipher(deriveKey(master, "rnd"))
+	if err != nil {
+		return nil, err
+	}
+	return &Randomized{block: block}, nil
+}
+
+// Encrypt encrypts pt with a random nonce. The nonce is prepended.
+func (r *Randomized) Encrypt(pt []byte) ([]byte, error) {
+	out := make([]byte, aes.BlockSize+len(pt))
+	if _, err := io.ReadFull(rand.Reader, out[:aes.BlockSize]); err != nil {
+		return nil, err
+	}
+	cipher.NewCTR(r.block, out[:aes.BlockSize]).XORKeyStream(out[aes.BlockSize:], pt)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func (r *Randomized) Decrypt(ct []byte) ([]byte, error) {
+	if len(ct) < aes.BlockSize {
+		return nil, ErrCiphertext
+	}
+	pt := make([]byte, len(ct)-aes.BlockSize)
+	cipher.NewCTR(r.block, ct[:aes.BlockSize]).XORKeyStream(pt, ct[aes.BlockSize:])
+	return pt, nil
+}
+
+// Deterministic is a deterministic symmetric cipher: AES-256-CTR with a
+// synthetic nonce computed as HMAC-SHA256(key, plaintext). Equal plaintexts
+// produce equal ciphertexts, supporting equality conditions, equi-joins, and
+// grouping over encrypted values (the SIV construction).
+type Deterministic struct {
+	block  cipher.Block
+	macKey []byte
+}
+
+// NewDeterministic constructs the deterministic cipher for a master key.
+func NewDeterministic(master []byte) (*Deterministic, error) {
+	block, err := aes.NewCipher(deriveKey(master, "det-enc"))
+	if err != nil {
+		return nil, err
+	}
+	return &Deterministic{block: block, macKey: deriveKey(master, "det-mac")}, nil
+}
+
+// Encrypt encrypts pt with the synthetic nonce prepended.
+func (d *Deterministic) Encrypt(pt []byte) ([]byte, error) {
+	mac := hmac.New(sha256.New, d.macKey)
+	mac.Write(pt)
+	iv := mac.Sum(nil)[:aes.BlockSize]
+	out := make([]byte, aes.BlockSize+len(pt))
+	copy(out, iv)
+	cipher.NewCTR(d.block, iv).XORKeyStream(out[aes.BlockSize:], pt)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt, verifying the synthetic nonce (which doubles as
+// an integrity check).
+func (d *Deterministic) Decrypt(ct []byte) ([]byte, error) {
+	if len(ct) < aes.BlockSize {
+		return nil, ErrCiphertext
+	}
+	pt := make([]byte, len(ct)-aes.BlockSize)
+	cipher.NewCTR(d.block, ct[:aes.BlockSize]).XORKeyStream(pt, ct[aes.BlockSize:])
+	mac := hmac.New(sha256.New, d.macKey)
+	mac.Write(pt)
+	if !hmac.Equal(mac.Sum(nil)[:aes.BlockSize], ct[:aes.BlockSize]) {
+		return nil, ErrCiphertext
+	}
+	return pt, nil
+}
+
+// Equal reports whether two deterministic ciphertexts encrypt the same
+// plaintext (the operation providers evaluate without keys).
+func Equal(ct1, ct2 []byte) bool { return bytes.Equal(ct1, ct2) }

@@ -1,0 +1,189 @@
+// Package dispatch implements query dispatch (Section 6, Figure 8): an
+// extended, assigned query plan is partitioned into per-subject fragments;
+// each fragment is rendered as the sub-query the subject executes
+// (including its encryption/decryption steps and references to the
+// sub-requests it consumes), bundled with the keys the subject needs, and
+// shipped in a message signed with the user's private key and encrypted for
+// the recipient's public key.
+package dispatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+)
+
+// Fragment is one sub-query of the dispatch: the maximal subtree of
+// operations executed by a single subject, the fragments it consumes, and
+// the keys it needs for its encryption/decryption operations.
+type Fragment struct {
+	ID      string
+	Subject authz.Subject
+	Root    algebra.Node // subtree root within the extended plan
+	// Inputs are the fragments whose results this fragment consumes, in
+	// operand order. Base relations read locally are not inputs.
+	Inputs []*Fragment
+	// KeyIDs are the query-plan keys communicated to the subject for this
+	// fragment (Definition 6.1: keys go to the subjects performing the
+	// encryption/decryption operations).
+	KeyIDs []string
+	// SQL is the rendered sub-query in the style of Figure 8.
+	SQL string
+}
+
+// Dispatch is a fragment decomposition of an extended plan: the root
+// fragment produces the query result; Fragments lists every fragment with
+// inputs before their consumers.
+type Dispatch struct {
+	Root      *Fragment
+	Fragments []*Fragment
+}
+
+// Executor resolves the subject executing a node of an extended plan: the
+// assignee for operations, the data authority for base relations.
+func Executor(ext *core.ExtendedPlan) func(algebra.Node) authz.Subject {
+	return func(n algebra.Node) authz.Subject {
+		if b, ok := n.(*algebra.Base); ok {
+			return authz.Subject(b.Authority)
+		}
+		return ext.Assign[n]
+	}
+}
+
+// Partition splits an extended plan into per-subject fragments.
+func Partition(ext *core.ExtendedPlan) *Dispatch {
+	d := &Dispatch{}
+	counter := make(map[authz.Subject]int)
+	executor := Executor(ext)
+
+	var build func(n algebra.Node) *Fragment
+	build = func(n algebra.Node) *Fragment {
+		subj := executor(n)
+		counter[subj]++
+		id := fmt.Sprintf("req%s", subj)
+		if counter[subj] > 1 {
+			id = fmt.Sprintf("req%s_%d", subj, counter[subj])
+		}
+		f := &Fragment{ID: id, Subject: subj, Root: n}
+
+		// Members: the connected same-subject subtree rooted at n.
+		// Frontier children become inputs (recursively built first).
+		var walk func(m algebra.Node)
+		walk = func(m algebra.Node) {
+			for _, c := range m.Children() {
+				if executor(c) == subj {
+					walk(c)
+				} else {
+					f.Inputs = append(f.Inputs, build(c))
+				}
+			}
+			f.KeyIDs = addNodeKeys(f.KeyIDs, m)
+		}
+		walk(n)
+		sort.Strings(f.KeyIDs)
+		f.KeyIDs = dedup(f.KeyIDs)
+		f.SQL = renderFragment(f, executor)
+		d.Fragments = append(d.Fragments, f)
+		return f
+	}
+	d.Root = build(ext.Root)
+	return d
+}
+
+// addNodeKeys appends the key ids used by an encryption/decryption node.
+func addNodeKeys(ids []string, n algebra.Node) []string {
+	switch x := n.(type) {
+	case *algebra.Encrypt:
+		for _, id := range x.KeyIDs {
+			ids = append(ids, id)
+		}
+	case *algebra.Decrypt:
+		for _, id := range x.KeyIDs {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// renderFragment renders the fragment as a Figure 8-style sub-query, with
+// ⟦reqS⟧ references for consumed fragments.
+func renderFragment(f *Fragment, executor func(algebra.Node) authz.Subject) string {
+	inputIdx := 0
+	var render func(n algebra.Node, isRoot bool) string
+	render = func(n algebra.Node, isRoot bool) string {
+		if !isRoot && executor(n) != f.Subject {
+			in := f.Inputs[inputIdx]
+			inputIdx++
+			return "⟦" + in.ID + "⟧"
+		}
+		switch x := n.(type) {
+		case *algebra.Base:
+			return x.Name
+		case *algebra.Project:
+			return fmt.Sprintf("π[%s](%s)", attrList(x.Attrs), render(x.Child, false))
+		case *algebra.Select:
+			return fmt.Sprintf("σ[%s](%s)", x.Pred, render(x.Child, false))
+		case *algebra.Product:
+			return fmt.Sprintf("(%s × %s)", render(x.L, false), render(x.R, false))
+		case *algebra.Join:
+			return fmt.Sprintf("(%s ⋈[%s] %s)", render(x.L, false), x.Cond, render(x.R, false))
+		case *algebra.GroupBy:
+			aggs := make([]string, len(x.Aggs))
+			for i, a := range x.Aggs {
+				aggs[i] = a.String()
+			}
+			return fmt.Sprintf("γ[%s; %s](%s)", attrList(x.Keys), strings.Join(aggs, ","), render(x.Child, false))
+		case *algebra.UDF:
+			return fmt.Sprintf("µ[%s(%s)](%s)", x.Name, attrList(x.Args), render(x.Child, false))
+		case *algebra.Encrypt:
+			parts := make([]string, len(x.Attrs))
+			for i, a := range x.Attrs {
+				parts[i] = fmt.Sprintf("encrypt(%s,%s)", a, x.KeyIDs[a])
+			}
+			return fmt.Sprintf("%s(%s)", strings.Join(parts, ","), render(x.Child, false))
+		case *algebra.Decrypt:
+			parts := make([]string, len(x.Attrs))
+			for i, a := range x.Attrs {
+				parts[i] = fmt.Sprintf("decrypt(%s,%s)", a, x.KeyIDs[a])
+			}
+			return fmt.Sprintf("%s(%s)", strings.Join(parts, ","), render(x.Child, false))
+		}
+		return "?"
+	}
+	return fmt.Sprintf("%s@%s ← %s", f.ID, f.Subject, render(f.Root, true))
+}
+
+func attrList(attrs []algebra.Attr) string {
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Format renders the whole dispatch, inputs before consumers.
+func (d *Dispatch) Format() string {
+	var sb strings.Builder
+	for _, f := range d.Fragments {
+		sb.WriteString(f.SQL)
+		if len(f.KeyIDs) > 0 {
+			sb.WriteString("   keys: " + strings.Join(f.KeyIDs, ","))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,244 @@
+package exec
+
+import (
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/crypto"
+	"mpq/internal/sql"
+)
+
+// TestMinMaxOverOPECiphertexts: min/max aggregation over OPE ciphertexts
+// picks the right elements without decryption, and decrypting the winners
+// recovers the plaintext extrema.
+func TestMinMaxOverOPECiphertexts(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+
+	g, v := algebra.A("R", "g"), algebra.A("R", "v")
+	tbl := NewTable([]algebra.Attr{g, v})
+	vals := map[string][]int64{"a": {5, -3, 9, 0}, "b": {42}}
+	for grp, vs := range vals {
+		for _, x := range vs {
+			tbl.Append([]Value{String(grp), Int(x)})
+		}
+	}
+	e.Tables["R"] = tbl
+
+	base := algebra.NewBase("R", "A", []algebra.Attr{g, v}, 5, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{v})
+	enc.Schemes[v] = algebra.SchemeOPE
+	enc.KeyIDs[v] = "k1"
+	grp := algebra.NewGroupBy(enc, []algebra.Attr{g}, []algebra.AggSpec{
+		{Func: sql.AggMin, Attr: v}, {Func: sql.AggMax, Attr: v},
+	}, 2)
+	dec := algebra.NewDecrypt(grp, []algebra.Attr{v})
+	res, err := e.Run(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 2 {
+		t.Fatalf("groups = %d\n%s", res.Len(), res.Format(nil))
+	}
+	for _, row := range res.Rows {
+		switch row[0].S {
+		case "a":
+			if row[1].I != -3 || row[2].I != 9 {
+				t.Errorf("group a: min=%v max=%v", row[1], row[2])
+			}
+		case "b":
+			if row[1].I != 42 || row[2].I != 42 {
+				t.Errorf("group b: min=%v max=%v", row[1], row[2])
+			}
+		}
+	}
+}
+
+// TestSortByOPECiphertextColumn: ORDER BY over an OPE-encrypted column
+// orders by the underlying plaintext without keys.
+func TestSortByOPECiphertextColumn(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+
+	a := algebra.A("R", "v")
+	tbl := NewTable([]algebra.Attr{a})
+	for _, x := range []int64{5, -1, 3, 8, 0} {
+		tbl.Append([]Value{Int(x)})
+	}
+	e.Tables["R"] = tbl
+	base := algebra.NewBase("R", "A", []algebra.Attr{a}, 5, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{a})
+	enc.Schemes[a] = algebra.SchemeOPE
+	enc.KeyIDs[a] = "k1"
+	ct, err := e.Run(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ct.SortBy([]SortSpec{{Index: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	// Decrypt the sorted ciphertexts and verify the order.
+	prev := int64(-1 << 62)
+	for _, row := range ct.Rows {
+		pv, err := e.decryptValue(row[0].C)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv.I < prev {
+			t.Fatalf("not sorted: %d after %d", pv.I, prev)
+		}
+		prev = pv.I
+	}
+}
+
+// TestNeqOverDeterministicCiphertexts: '<>' works on deterministic
+// ciphertexts for both column-column and column-constant comparisons.
+func TestNeqOverDeterministicCiphertexts(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+
+	a, b := algebra.A("R", "a"), algebra.A("R", "b")
+	tbl := NewTable([]algebra.Attr{a, b})
+	tbl.Append([]Value{String("x"), String("x")})
+	tbl.Append([]Value{String("x"), String("y")})
+	tbl.Append([]Value{String("z"), String("z")})
+	e.Tables["R"] = tbl
+
+	base := algebra.NewBase("R", "A", []algebra.Attr{a, b}, 3, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{a, b})
+	for _, x := range []algebra.Attr{a, b} {
+		enc.Schemes[x] = algebra.SchemeDeterministic
+		enc.KeyIDs[x] = "k1"
+	}
+	selAA := algebra.NewSelect(enc, &algebra.CmpAA{L: a, Op: sql.OpNeq, R: b}, 0.5)
+	res, err := e.Run(selAA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("a<>b rows = %d, want 1", res.Len())
+	}
+
+	cmp := &algebra.CmpAV{A: a, Op: sql.OpNeq, V: sql.StringValue("x")}
+	selAV := algebra.NewSelect(enc, cmp, 0.5)
+	consts, err := PrepareConstants(selAV, e.Keys, AttrKinds{a: KString, b: KString})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Consts = consts
+	res, err = e.Run(selAV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Errorf("a<>'x' rows = %d, want 1", res.Len())
+	}
+}
+
+// TestProductOperator: the cartesian product combines all pairs.
+func TestProductOperator(t *testing.T) {
+	e := NewExecutor()
+	a, b := algebra.A("R", "a"), algebra.A("S", "b")
+	ra := NewTable([]algebra.Attr{a})
+	ra.Append([]Value{Int(1)})
+	ra.Append([]Value{Int(2)})
+	rb := NewTable([]algebra.Attr{b})
+	rb.Append([]Value{String("x")})
+	rb.Append([]Value{String("y")})
+	rb.Append([]Value{String("z")})
+	e.Tables["R"], e.Tables["S"] = ra, rb
+	prod := algebra.NewProduct(
+		algebra.NewBase("R", "A", []algebra.Attr{a}, 2, nil),
+		algebra.NewBase("S", "B", []algebra.Attr{b}, 3, nil))
+	res, err := e.Run(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 6 {
+		t.Errorf("product rows = %d, want 6", res.Len())
+	}
+}
+
+// TestNonEqualityJoin: a range join falls back to the nested loop.
+func TestNonEqualityJoin(t *testing.T) {
+	e := NewExecutor()
+	a, b := algebra.A("R", "a"), algebra.A("S", "b")
+	ra := NewTable([]algebra.Attr{a})
+	rb := NewTable([]algebra.Attr{b})
+	for i := int64(0); i < 4; i++ {
+		ra.Append([]Value{Int(i)})
+		rb.Append([]Value{Int(i)})
+	}
+	e.Tables["R"], e.Tables["S"] = ra, rb
+	join := algebra.NewJoin(
+		algebra.NewBase("R", "A", []algebra.Attr{a}, 4, nil),
+		algebra.NewBase("S", "B", []algebra.Attr{b}, 4, nil),
+		&algebra.CmpAA{L: a, Op: sql.OpLt, R: b}, 0.4)
+	res, err := e.Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 6 { // pairs with a < b among 4×4
+		t.Errorf("range join rows = %d, want 6", res.Len())
+	}
+}
+
+// TestMultiConditionJoin: a two-pair equality join (Q9-style partsupp join)
+// hashes one pair and filters the other.
+func TestMultiConditionJoin(t *testing.T) {
+	e := NewExecutor()
+	a1, a2 := algebra.A("R", "p"), algebra.A("R", "s")
+	b1, b2 := algebra.A("S", "p2"), algebra.A("S", "s2")
+	ra := NewTable([]algebra.Attr{a1, a2})
+	rb := NewTable([]algebra.Attr{b1, b2})
+	for p := int64(0); p < 3; p++ {
+		for s := int64(0); s < 3; s++ {
+			ra.Append([]Value{Int(p), Int(s)})
+			rb.Append([]Value{Int(p), Int(s)})
+		}
+	}
+	e.Tables["R"], e.Tables["S"] = ra, rb
+	cond := algebra.And(
+		&algebra.CmpAA{L: a1, Op: sql.OpEq, R: b1},
+		&algebra.CmpAA{L: a2, Op: sql.OpEq, R: b2})
+	join := algebra.NewJoin(
+		algebra.NewBase("R", "A", []algebra.Attr{a1, a2}, 9, nil),
+		algebra.NewBase("S", "B", []algebra.Attr{b1, b2}, 9, nil),
+		cond, 0.1)
+	res, err := e.Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 9 {
+		t.Errorf("two-pair join rows = %d, want 9", res.Len())
+	}
+}
+
+// TestDecryptTable decrypts a mixed table in one pass.
+func TestDecryptTable(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+	a := algebra.A("R", "v")
+	cv, err := EncryptValue(ring, algebra.SchemeDeterministic, String("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewTable([]algebra.Attr{a, algebra.A("R", "w")})
+	tbl.Append([]Value{cv, Int(7)})
+	out, err := e.DecryptTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows[0][0].S != "secret" || out.Rows[0][1].I != 7 {
+		t.Errorf("decrypted = %v", out.Rows[0])
+	}
+	// Without the key it fails.
+	bare := NewExecutor()
+	if _, err := bare.DecryptTable(tbl); err == nil {
+		t.Errorf("decrypt without keys succeeded")
+	}
+}

@@ -1,0 +1,596 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+	"mpq/internal/crypto"
+	"mpq/internal/planner"
+	"mpq/internal/sql"
+)
+
+const testPaillierBits = 128
+
+func exampleCatalog() *algebra.Catalog {
+	cat := algebra.NewCatalog()
+	cat.Add(&algebra.Relation{Name: "Hosp", Authority: "H", Rows: 8, Columns: []algebra.Column{
+		{Name: "S", Type: algebra.TString, Width: 11, Distinct: 8},
+		{Name: "B", Type: algebra.TDate, Width: 8, Distinct: 8},
+		{Name: "D", Type: algebra.TString, Width: 20, Distinct: 3},
+		{Name: "T", Type: algebra.TString, Width: 20, Distinct: 3},
+	}})
+	cat.Add(&algebra.Relation{Name: "Ins", Authority: "I", Rows: 10, Columns: []algebra.Column{
+		{Name: "C", Type: algebra.TString, Width: 11, Distinct: 10},
+		{Name: "P", Type: algebra.TFloat, Width: 8, Distinct: 9},
+	}})
+	return cat
+}
+
+// exampleData loads the running-example tables: 8 patients, 10 customers.
+func exampleData(e *Executor) {
+	hosp := NewTable([]algebra.Attr{
+		algebra.A("Hosp", "S"), algebra.A("Hosp", "B"), algebra.A("Hosp", "D"), algebra.A("Hosp", "T"),
+	})
+	rows := []struct {
+		s    string
+		b    int64
+		d, t string
+	}{
+		{"s1", 10, "stroke", "surgery"},
+		{"s2", 11, "stroke", "medication"},
+		{"s3", 12, "flu", "medication"},
+		{"s4", 13, "stroke", "surgery"},
+		{"s5", 14, "asthma", "inhaler"},
+		{"s6", 15, "stroke", "medication"},
+		{"s7", 16, "flu", "rest"},
+		{"s8", 17, "stroke", "therapy"},
+	}
+	for _, r := range rows {
+		hosp.Append([]Value{String(r.s), Int(r.b), String(r.d), String(r.t)})
+	}
+	e.Tables["Hosp"] = hosp
+
+	ins := NewTable([]algebra.Attr{algebra.A("Ins", "C"), algebra.A("Ins", "P")})
+	prem := map[string]float64{
+		"s1": 150, "s2": 90, "s3": 200, "s4": 250,
+		"s5": 80, "s6": 130, "s7": 60, "s8": 40,
+		"s9": 300, "s10": 20,
+	}
+	for c, p := range prem {
+		ins.Append([]Value{String(c), Float(p)})
+	}
+	e.Tables["Ins"] = jsortIns(ins)
+}
+
+// jsortIns makes the map iteration deterministic for stable tests.
+func jsortIns(t *Table) *Table {
+	_ = t.SortBy([]SortSpec{{Index: 0}})
+	return t
+}
+
+const runningQuery = "select T, avg(P) from Hosp join Ins on S=C where D='stroke' group by T having avg(P)>100"
+
+// expected results for the running query over exampleData:
+// stroke patients: s1(surgery,150) s2(medication,90) s4(surgery,250)
+// s6(medication,130) s8(therapy,40)
+// surgery: avg(150,250)=200 ✓>100; medication: avg(90,130)=110 ✓; therapy: 40 ✗.
+var runningWant = map[string]float64{"surgery": 200, "medication": 110}
+
+func checkRunningResult(t *testing.T, res *Table) {
+	t.Helper()
+	if len(res.Rows) != len(runningWant) {
+		t.Fatalf("rows = %d, want %d\n%s", len(res.Rows), len(runningWant), res.Format(nil))
+	}
+	for _, row := range res.Rows {
+		want, ok := runningWant[row[0].S]
+		if !ok {
+			t.Errorf("unexpected group %q", row[0].S)
+			continue
+		}
+		got, err := row[1].AsFloat()
+		if err != nil || math.Abs(got-want) > 1e-6 {
+			t.Errorf("avg for %s = %v, want %v", row[0].S, row[1], want)
+		}
+	}
+}
+
+func TestPlaintextRunningExample(t *testing.T) {
+	e := NewExecutor()
+	exampleData(e)
+	p, err := planner.New(exampleCatalog()).PlanSQL(runningQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, headers, err := e.RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(headers) != 2 {
+		t.Fatalf("headers = %v", headers)
+	}
+	checkRunningResult(t, res)
+}
+
+// TestEncryptedRunningExample executes the Figure 7(a) minimally extended
+// plan with real encryption — deterministic join, Paillier average,
+// encrypted selection constant — and checks the decrypted results match the
+// plaintext run.
+func TestEncryptedRunningExample(t *testing.T) {
+	pol := authz.NewPolicy()
+	pol.MustGrant("Hosp", "H", []string{"S", "B", "D", "T"}, nil)
+	pol.MustGrant("Hosp", "U", []string{"S", "D", "T"}, nil)
+	pol.MustGrant("Hosp", "X", []string{"D", "T"}, []string{"S"})
+	pol.MustGrant("Hosp", "Y", []string{"B", "D", "T"}, []string{"S"})
+	pol.MustGrant("Ins", "I", []string{"C", "P"}, nil)
+	pol.MustGrant("Ins", "U", []string{"C", "P"}, nil)
+	pol.MustGrant("Ins", "X", nil, []string{"C", "P"})
+	pol.MustGrant("Ins", "Y", []string{"P"}, []string{"C"})
+	sys := core.NewSystem(pol, "H", "I", "U", "X", "Y")
+
+	plan, err := planner.New(exampleCatalog()).PlanSQL(runningQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := sys.Analyze(plan.Root, nil)
+	// Figure 7(a): selection at H, join and group-by at X, having at Y.
+	var sel, join, grp, hav algebra.Node
+	algebra.PostOrder(plan.Root, func(n algebra.Node) {
+		switch x := n.(type) {
+		case *algebra.Select:
+			if _, isBase := x.Child.(*algebra.Base); isBase {
+				sel = n
+			} else {
+				hav = n
+			}
+		case *algebra.Join:
+			join = n
+		case *algebra.GroupBy:
+			grp = n
+		}
+	})
+	lambda := core.Assignment{sel: "H", join: "X", grp: "X", hav: "Y"}
+	ext, err := sys.Extend(an, lambda)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := NewExecutor()
+	exampleData(e)
+	for _, k := range ext.Keys {
+		ring, err := crypto.NewKeyRing(k.ID, testPaillierBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Keys.Add(ring)
+	}
+	consts, err := PrepareConstants(ext.Root, e.Keys, KindsFromCatalog(exampleCatalog()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Consts = consts
+
+	// Execute the extended plan (encryption nodes run for real).
+	extPlan := *plan
+	extPlan.Root = ext.Root
+	res, _, err := e.RunPlan(&extPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRunningResult(t, res)
+}
+
+func TestDeterministicJoinOverCiphertexts(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+
+	la, lb := algebra.A("L", "a"), algebra.A("L", "b")
+	ra := algebra.A("R", "a2")
+	left := NewTable([]algebra.Attr{la, lb})
+	right := NewTable([]algebra.Attr{ra})
+	for i := 0; i < 5; i++ {
+		left.Append([]Value{Int(int64(i)), Int(int64(i * 10))})
+	}
+	right.Append([]Value{Int(2)})
+	right.Append([]Value{Int(4)})
+	right.Append([]Value{Int(9)})
+	e.Tables["L"] = left
+	e.Tables["R"] = right
+
+	bl := algebra.NewBase("L", "A1", []algebra.Attr{la, lb}, 5, nil)
+	br := algebra.NewBase("R", "A2", []algebra.Attr{ra}, 3, nil)
+	encL := algebra.NewEncrypt(bl, []algebra.Attr{la})
+	encL.Schemes[la] = algebra.SchemeDeterministic
+	encL.KeyIDs[la] = "k1"
+	encR := algebra.NewEncrypt(br, []algebra.Attr{ra})
+	encR.Schemes[ra] = algebra.SchemeDeterministic
+	encR.KeyIDs[ra] = "k1"
+	join := algebra.NewJoin(encL, encR, &algebra.CmpAA{L: la, Op: sql.OpEq, R: ra}, 0.1)
+
+	res, err := e.Run(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("join rows = %d, want 2\n%s", len(res.Rows), res.Format(nil))
+	}
+	// The b column stays plaintext: values 20 and 40.
+	got := map[int64]bool{}
+	for _, row := range res.Rows {
+		got[row[1].I] = true
+	}
+	if !got[20] || !got[40] {
+		t.Errorf("joined b values = %v", got)
+	}
+}
+
+func TestOPERangeSelectionWithDispatchedConstant(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+
+	a := algebra.A("R", "v")
+	tbl := NewTable([]algebra.Attr{a})
+	for i := int64(0); i < 10; i++ {
+		tbl.Append([]Value{Int(i)})
+	}
+	e.Tables["R"] = tbl
+
+	base := algebra.NewBase("R", "A", []algebra.Attr{a}, 10, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{a})
+	enc.Schemes[a] = algebra.SchemeOPE
+	enc.KeyIDs[a] = "k1"
+	cmp := &algebra.CmpAV{A: a, Op: sql.OpGt, V: sql.NumberValue(6)}
+	sel := algebra.NewSelect(enc, cmp, 0.3)
+
+	kinds := AttrKinds{a: KInt}
+	consts, err := PrepareConstants(sel, e.Keys, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Consts = consts
+
+	res, err := e.Run(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (7,8,9)", len(res.Rows))
+	}
+	// Decrypting restores the plaintext values.
+	dec := algebra.NewDecrypt(sel, []algebra.Attr{a})
+	res2, err := e.Run(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for _, row := range res2.Rows {
+		sum += row[0].I
+	}
+	if sum != 7+8+9 {
+		t.Errorf("decrypted sum = %d", sum)
+	}
+}
+
+func TestPaillierAggregation(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("kP", testPaillierBits)
+	e.Keys.Add(ring)
+
+	g, v := algebra.A("R", "g"), algebra.A("R", "v")
+	tbl := NewTable([]algebra.Attr{g, v})
+	tbl.Append([]Value{String("a"), Float(1.5)})
+	tbl.Append([]Value{String("a"), Float(2.5)})
+	tbl.Append([]Value{String("b"), Float(10)})
+	e.Tables["R"] = tbl
+
+	base := algebra.NewBase("R", "A", []algebra.Attr{g, v}, 3, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{v})
+	enc.Schemes[v] = algebra.SchemePaillier
+	enc.KeyIDs[v] = "kP"
+	grp := algebra.NewGroupBy(base, []algebra.Attr{g}, []algebra.AggSpec{
+		{Func: sql.AggSum, Attr: v}, {Func: sql.AggAvg, Attr: v}, {Func: sql.AggCount, Star: true},
+	}, 2)
+	grpEnc := algebra.Rebuild(grp, []algebra.Node{enc}).(*algebra.GroupBy)
+	dec := algebra.NewDecrypt(grpEnc, []algebra.Attr{v})
+
+	res, err := e.Run(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d\n%s", len(res.Rows), res.Format(nil))
+	}
+	for _, row := range res.Rows {
+		sum, _ := row[1].AsFloat()
+		avg, _ := row[2].AsFloat()
+		cnt := row[3].I
+		switch row[0].S {
+		case "a":
+			if math.Abs(sum-4) > 1e-6 || math.Abs(avg-2) > 1e-6 || cnt != 2 {
+				t.Errorf("group a: sum=%v avg=%v count=%v", sum, avg, cnt)
+			}
+		case "b":
+			if math.Abs(sum-10) > 1e-6 || math.Abs(avg-10) > 1e-6 || cnt != 1 {
+				t.Errorf("group b: sum=%v avg=%v count=%v", sum, avg, cnt)
+			}
+		default:
+			t.Errorf("unexpected group %q", row[0].S)
+		}
+	}
+}
+
+func TestGroupOnDeterministicCiphertext(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+
+	g := algebra.A("R", "g")
+	tbl := NewTable([]algebra.Attr{g})
+	for _, s := range []string{"x", "y", "x", "x"} {
+		tbl.Append([]Value{String(s)})
+	}
+	e.Tables["R"] = tbl
+	base := algebra.NewBase("R", "A", []algebra.Attr{g}, 4, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{g})
+	enc.Schemes[g] = algebra.SchemeDeterministic
+	enc.KeyIDs[g] = "k1"
+	grp := algebra.NewGroupBy1(enc, []algebra.Attr{g}, sql.AggCount, algebra.Attr{}, true, 2)
+
+	res, err := e.Run(grp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	counts := map[int64]bool{}
+	for _, row := range res.Rows {
+		counts[row[1].I] = true
+	}
+	if !counts[3] || !counts[1] {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestProviderCannotDecrypt(t *testing.T) {
+	owner := NewExecutor()
+	full, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	owner.Keys.Add(full)
+
+	provider := NewExecutor()
+	provider.Keys.Add(full.Public())
+
+	a := algebra.A("R", "v")
+	tbl := NewTable([]algebra.Attr{a})
+	tbl.Append([]Value{Int(7)})
+	owner.Tables["R"] = tbl
+
+	base := algebra.NewBase("R", "A", []algebra.Attr{a}, 1, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{a})
+	enc.Schemes[a] = algebra.SchemeDeterministic
+	enc.KeyIDs[a] = "k1"
+	ct, err := owner.Run(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The provider can hash-join/group on the ciphertext but cannot decrypt.
+	provider.Tables["R"] = ct
+	if _, err := provider.decryptValue(ct.Rows[0][0].C); err == nil {
+		t.Errorf("public-only provider decrypted a deterministic ciphertext")
+	}
+	// The owner can.
+	if v, err := owner.decryptValue(ct.Rows[0][0].C); err != nil || v.I != 7 {
+		t.Errorf("owner decrypt = %v, %v", v, err)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_l", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"abc", "%b%", true},
+		{"abc", "%d%", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	e := NewExecutor()
+	exampleData(e)
+	p, err := planner.New(exampleCatalog()).PlanSQL(
+		"select S, P from Hosp join Ins on S = C order by P desc limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := e.RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	prev := math.Inf(1)
+	for _, row := range res.Rows {
+		f, _ := row[1].AsFloat()
+		if f > prev {
+			t.Errorf("not descending: %v after %v", f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestSelectVariants(t *testing.T) {
+	e := NewExecutor()
+	exampleData(e)
+	pl := planner.New(exampleCatalog())
+	for _, tc := range []struct {
+		q    string
+		rows int
+	}{
+		{"select S from Hosp where D = 'stroke'", 5},
+		{"select S from Hosp where D <> 'stroke'", 3},
+		{"select S from Hosp where D = 'stroke' and T = 'surgery'", 2},
+		{"select S from Hosp where D = 'flu' or D = 'asthma'", 3},
+		{"select S from Hosp where not D = 'stroke'", 3},
+		{"select S from Hosp where B between 12 and 14", 3},
+		{"select S from Hosp where D like 'str%'", 5},
+		{"select C from Ins where P >= 200", 3},
+		{"select count(*) as n from Hosp", 1},
+		{"select D, count(*) as n from Hosp group by D", 3},
+		{"select D, min(B), max(B) from Hosp group by D", 3},
+	} {
+		p, err := pl.PlanSQL(tc.q)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
+		res, _, err := e.RunPlan(p)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.q, err)
+		}
+		if len(res.Rows) != tc.rows {
+			t.Errorf("%s: rows = %d, want %d", tc.q, len(res.Rows), tc.rows)
+		}
+	}
+}
+
+func TestUDFExecution(t *testing.T) {
+	e := NewExecutor()
+	exampleData(e)
+	e.UDFs["risk"] = func(args []Value) (Value, error) {
+		b, _ := args[0].AsFloat()
+		if args[1].S == "stroke" {
+			return Float(b * 2), nil
+		}
+		return Float(b), nil
+	}
+	p, err := planner.New(exampleCatalog()).PlanSQL("select risk(B, D) as r from Hosp where T = 'surgery'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := e.RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		f, _ := row[0].AsFloat()
+		if f != 20 && f != 26 {
+			t.Errorf("risk = %v", f)
+		}
+	}
+}
+
+func TestRandomizedRoundTripThroughPlan(t *testing.T) {
+	e := NewExecutor()
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+	a := algebra.A("R", "v")
+	tbl := NewTable([]algebra.Attr{a})
+	tbl.Append([]Value{String("secret")})
+	e.Tables["R"] = tbl
+	base := algebra.NewBase("R", "A", []algebra.Attr{a}, 1, nil)
+	enc := algebra.NewEncrypt(base, []algebra.Attr{a})
+	enc.Schemes[a] = algebra.SchemeRandom
+	enc.KeyIDs[a] = "k1"
+	dec := algebra.NewDecrypt(enc, []algebra.Attr{a})
+	res, err := e.Run(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].S != "secret" {
+		t.Errorf("round trip = %v", res.Rows[0][0])
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	e := NewExecutor()
+	a := algebra.A("R", "v")
+	base := algebra.NewBase("R", "A", []algebra.Attr{a}, 1, nil)
+	if _, err := e.Run(base); err == nil {
+		t.Errorf("missing table not reported")
+	}
+	tbl := NewTable([]algebra.Attr{a})
+	tbl.Append([]Value{Int(1)})
+	e.Tables["R"] = tbl
+	// Encrypt without the key.
+	enc := algebra.NewEncrypt(base, []algebra.Attr{a})
+	enc.Schemes[a] = algebra.SchemeDeterministic
+	enc.KeyIDs[a] = "missing"
+	if _, err := e.Run(enc); err == nil {
+		t.Errorf("missing key not reported")
+	}
+	// Selection on an encrypted column without a dispatched constant.
+	ring, _ := crypto.NewKeyRing("k1", testPaillierBits)
+	e.Keys.Add(ring)
+	enc.KeyIDs[a] = "k1"
+	sel := algebra.NewSelect(enc, &algebra.CmpAV{A: a, Op: sql.OpEq, V: sql.NumberValue(1)}, 0.5)
+	if _, err := e.Run(sel); err == nil {
+		t.Errorf("missing dispatched constant not reported")
+	}
+	// UDF not registered.
+	udf := algebra.NewUDF(base, "nope", []algebra.Attr{a}, a)
+	if _, err := e.Run(udf); err == nil {
+		t.Errorf("unregistered udf not reported")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if Int(5).String() != "5" || String("x").String() != "x" || Null().String() != "NULL" {
+		t.Errorf("value rendering broken")
+	}
+	if _, err := Null().AsFloat(); err == nil {
+		t.Errorf("AsFloat(NULL) should fail")
+	}
+	for _, v := range []Value{Int(-3), Float(2.75), String("abc"), Null()} {
+		b, err := encodePlain(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodePlain(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != v.Kind || got.I != v.I || got.F != v.F || got.S != v.S {
+			t.Errorf("encode/decode mismatch: %v vs %v", got, v)
+		}
+	}
+	if _, err := decodePlain(nil); err == nil {
+		t.Errorf("empty decode should fail")
+	}
+	if _, err := decodePlain([]byte{99}); err == nil {
+		t.Errorf("bad tag decode should fail")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	a := algebra.A("R", "v")
+	tbl := NewTable([]algebra.Attr{a})
+	tbl.Append([]Value{Int(42)})
+	out := tbl.Format([]string{"value"})
+	if out == "" || len(out) < 10 {
+		t.Errorf("format = %q", out)
+	}
+	out2 := tbl.Format(nil)
+	if out2 == "" {
+		t.Errorf("format with schema headers failed")
+	}
+}

@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"mpq/internal/planner"
+)
+
+// RunPlan executes a planned query end to end: evaluates the algebra tree,
+// applies ordering and limit, and projects the output columns. It returns
+// the result table and the display headers.
+func (e *Executor) RunPlan(p *planner.Plan) (*Table, []string, error) {
+	t, err := e.Run(p.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(p.OrderBy) > 0 {
+		specs := make([]SortSpec, len(p.OrderBy))
+		for i, o := range p.OrderBy {
+			specs[i] = SortSpec{Index: o.Index, Desc: o.Desc}
+		}
+		if err := t.SortBy(specs); err != nil {
+			return nil, nil, err
+		}
+	}
+	indices := make([]int, len(p.Output))
+	headers := make([]string, len(p.Output))
+	for i, oc := range p.Output {
+		indices[i] = oc.Index
+		headers[i] = oc.Name
+	}
+	out := t.Project(indices)
+	if p.Limit >= 0 && len(out.Rows) > p.Limit {
+		out.Rows = out.Rows[:p.Limit]
+	}
+	return out, headers, nil
+}
+
+// DecryptTable returns a copy of the relation with every encrypted value
+// the executor holds keys for decrypted. This is the user-side finalization
+// step: the querying user receives the (possibly encrypted) result of the
+// root fragment and decrypts it with the query-plan keys before consuming
+// it.
+func (e *Executor) DecryptTable(t *Table) (*Table, error) {
+	out := NewTable(t.Schema)
+	out.Rows = make([][]Value, len(t.Rows))
+	for ri, row := range t.Rows {
+		nr := make([]Value, len(row))
+		for ci, v := range row {
+			if v.IsCipher() {
+				pv, err := e.decryptValue(v.C)
+				if err != nil {
+					return nil, err
+				}
+				nr[ci] = pv
+			} else {
+				nr[ci] = v
+			}
+		}
+		out.Rows[ri] = nr
+	}
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mpq/internal/algebra"
+)
+
+// Table is an in-memory relation: a schema of qualified attributes and rows
+// of values in schema order. Schemas may contain repeated attributes
+// (multiple aggregates over one attribute); columns are positional.
+type Table struct {
+	Schema []algebra.Attr
+	Rows   [][]Value
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema []algebra.Attr) *Table {
+	return &Table{Schema: append([]algebra.Attr{}, schema...)}
+}
+
+// ColIndex returns the first column index of attribute a, or -1.
+func (t *Table) ColIndex(a algebra.Attr) int {
+	for i, s := range t.Schema {
+		if s == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append adds a row (which must match the schema length).
+func (t *Table) Append(row []Value) {
+	if len(row) != len(t.Schema) {
+		panic(fmt.Sprintf("exec: row width %d != schema width %d", len(row), len(t.Schema)))
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.Rows) }
+
+// Project returns a new table with the given column indices.
+func (t *Table) Project(indices []int) *Table {
+	schema := make([]algebra.Attr, len(indices))
+	for i, ix := range indices {
+		schema[i] = t.Schema[ix]
+	}
+	out := NewTable(schema)
+	for _, r := range t.Rows {
+		row := make([]Value, len(indices))
+		for i, ix := range indices {
+			row[i] = r[ix]
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// SortBy sorts rows by the given (index, desc) specs, comparing plaintext
+// values; ciphertext columns sort by OPE order when possible.
+func (t *Table) SortBy(specs []SortSpec) error {
+	var sortErr error
+	sort.SliceStable(t.Rows, func(i, j int) bool {
+		for _, sp := range specs {
+			a, b := t.Rows[i][sp.Index], t.Rows[j][sp.Index]
+			c, err := compareForSort(a, b)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if sp.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+// SortSpec is one ordering criterion.
+type SortSpec struct {
+	Index int
+	Desc  bool
+}
+
+func compareForSort(a, b Value) (int, error) {
+	if a.Kind == KCipher && b.Kind == KCipher && a.C.Scheme == algebra.SchemeOPE && b.C.Scheme == algebra.SchemeOPE {
+		return strings.Compare(string(a.C.Data), string(b.C.Data)), nil
+	}
+	if a.Kind == KNull && b.Kind == KNull {
+		return 0, nil
+	}
+	if a.Kind == KNull {
+		return -1, nil
+	}
+	if b.Kind == KNull {
+		return 1, nil
+	}
+	return compare(a, b)
+}
+
+// Format renders the table as an aligned text grid with the given column
+// headers (falling back to schema names).
+func (t *Table) Format(headers []string) string {
+	if headers == nil {
+		headers = make([]string, len(t.Schema))
+		for i, a := range t.Schema {
+			headers[i] = a.String()
+		}
+	}
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells[ri] = make([]string, len(r))
+		for ci, v := range r {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, h := range headers {
+		fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+	}
+	sb.WriteString("\n")
+	for i := range headers {
+		sb.WriteString(strings.Repeat("-", widths[i]))
+		sb.WriteString("  ")
+	}
+	sb.WriteString("\n")
+	for _, row := range cells {
+		for i, c := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

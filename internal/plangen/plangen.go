@@ -1,0 +1,195 @@
+// Package plangen generates random query plans, authorizations, and
+// plaintext requirements. It backs the property-based tests of the paper's
+// theorems (3.1, 5.1, 5.2, 5.3) and the scaling benchmarks.
+package plangen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpq/internal/algebra"
+	"mpq/internal/sql"
+)
+
+// Config bounds the shape of generated plans.
+type Config struct {
+	Relations   int // number of base relations (≥ 1)
+	AttrsPerRel int // attributes per relation (≥ 2)
+	ExtraOps    int // unary operations stacked on top of the join tree
+	UDFs        bool
+	// Conform restricts the generated operators to those that never drop an
+	// attribute from a profile (selections, joins, udfs), matching the
+	// paper's assumption that projections are pushed down into the leaves.
+	// Theorem 3.1(i) holds in full only for such plans.
+	Conform bool
+	Seed    int64
+}
+
+// DefaultConfig returns a medium-size configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{Relations: 3, AttrsPerRel: 4, ExtraOps: 4, UDFs: true, Seed: seed}
+}
+
+// Gen holds the generator state.
+type Gen struct {
+	cfg Config
+	rnd *rand.Rand
+}
+
+// New returns a generator for the given configuration.
+func New(cfg Config) *Gen {
+	if cfg.Relations < 1 {
+		cfg.Relations = 1
+	}
+	if cfg.AttrsPerRel < 2 {
+		cfg.AttrsPerRel = 2
+	}
+	return &Gen{cfg: cfg, rnd: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Relations returns the generated base relation definitions.
+func (g *Gen) Relations() []*algebra.Relation {
+	rels := make([]*algebra.Relation, g.cfg.Relations)
+	for i := range rels {
+		name := fmt.Sprintf("R%d", i)
+		cols := make([]algebra.Column, g.cfg.AttrsPerRel)
+		for j := range cols {
+			cols[j] = algebra.Column{
+				Name:     fmt.Sprintf("a%d", j),
+				Type:     algebra.TInt,
+				Width:    8,
+				Distinct: float64(10 + g.rnd.Intn(90)),
+			}
+		}
+		rels[i] = &algebra.Relation{
+			Name:      name,
+			Authority: fmt.Sprintf("AUTH%d", i),
+			Columns:   cols,
+			Rows:      float64(100 + g.rnd.Intn(900)),
+		}
+	}
+	return rels
+}
+
+// Plan generates a random query plan over the given relations: a left-deep
+// join tree with random selections, projections, group-bys, and (optionally)
+// udfs stacked above it. The plan never contains encryption or decryption
+// nodes — it models the optimizer output before extension.
+func (g *Gen) Plan(rels []*algebra.Relation) algebra.Node {
+	bases := make([]algebra.Node, len(rels))
+	for i, r := range rels {
+		bases[i] = algebra.NewBase(r.Name, r.Authority, r.Attrs(), r.Rows, r.Widths())
+	}
+	cur := bases[0]
+	for i := 1; i < len(bases); i++ {
+		// Join on a random attribute pair between the accumulated tree and
+		// the next relation.
+		l := g.pick(cur.Schema())
+		r := g.pick(bases[i].Schema())
+		cond := &algebra.CmpAA{L: l, Op: sql.OpEq, R: r}
+		cur = algebra.NewJoin(cur, bases[i], cond, 0.01)
+	}
+	for i := 0; i < g.cfg.ExtraOps; i++ {
+		cur = g.unaryOp(cur)
+	}
+	return cur
+}
+
+func (g *Gen) pick(attrs []algebra.Attr) algebra.Attr {
+	real := make([]algebra.Attr, 0, len(attrs))
+	for _, a := range attrs {
+		if !algebra.IsSynthetic(a) {
+			real = append(real, a)
+		}
+	}
+	return real[g.rnd.Intn(len(real))]
+}
+
+func (g *Gen) unaryOp(child algebra.Node) algebra.Node {
+	schema := child.Schema()
+	real := make([]algebra.Attr, 0, len(schema))
+	for _, a := range schema {
+		if !algebra.IsSynthetic(a) {
+			real = append(real, a)
+		}
+	}
+	if len(real) == 0 {
+		return child
+	}
+	choices := 3
+	if g.cfg.UDFs && len(real) >= 2 {
+		choices = 4
+	}
+	op := g.rnd.Intn(choices)
+	if g.cfg.Conform && (op == 1 || op == 2) {
+		// Projections and group-bys can drop visible attributes from the
+		// profile; conforming plans use only selections and udfs.
+		op = 0
+		if choices == 4 && g.rnd.Intn(2) == 0 {
+			op = 3
+		}
+	}
+	switch op {
+	case 0: // selection on a random attribute against a value
+		a := real[g.rnd.Intn(len(real))]
+		ops := []sql.CompareOp{sql.OpEq, sql.OpGt, sql.OpLt}
+		return algebra.NewSelect(child, &algebra.CmpAV{
+			A: a, Op: ops[g.rnd.Intn(len(ops))], V: sql.NumberValue(float64(g.rnd.Intn(100))),
+		}, 0.5)
+	case 1: // projection keeping a random non-empty subset
+		k := 1 + g.rnd.Intn(len(real))
+		perm := g.rnd.Perm(len(real))
+		keep := make([]algebra.Attr, k)
+		for i := 0; i < k; i++ {
+			keep[i] = real[perm[i]]
+		}
+		return algebra.NewProject(child, keep)
+	case 2: // group-by on one attribute, aggregate on another (or count(*))
+		key := real[g.rnd.Intn(len(real))]
+		if len(real) < 2 || g.rnd.Intn(3) == 0 {
+			return algebra.NewGroupBy1(child, []algebra.Attr{key}, sql.AggCount, algebra.Attr{}, true, 10)
+		}
+		var agg algebra.Attr
+		for {
+			agg = real[g.rnd.Intn(len(real))]
+			if agg != key {
+				break
+			}
+		}
+		return algebra.NewGroupBy1(child, []algebra.Attr{key}, sql.AggSum, agg, false, 10)
+	default: // udf over two attributes
+		perm := g.rnd.Perm(len(real))
+		args := []algebra.Attr{real[perm[0]], real[perm[1]]}
+		return algebra.NewUDF(child, "udf", args, args[0])
+	}
+}
+
+// SubjectNames returns n provider names plus a user "U".
+func SubjectNames(n int) []string {
+	out := []string{"U"}
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("P%d", i))
+	}
+	return out
+}
+
+// RandomAttrSubset returns a random subset of the attributes of rels,
+// partitioned into a plaintext set and an encrypted set.
+func (g *Gen) RandomAttrSubset(rels []*algebra.Relation) (plain, enc algebra.AttrSet) {
+	plain, enc = algebra.NewAttrSet(), algebra.NewAttrSet()
+	for _, r := range rels {
+		for _, a := range r.Attrs() {
+			switch g.rnd.Intn(3) {
+			case 0:
+				plain.Add(a)
+			case 1:
+				enc.Add(a)
+			}
+		}
+	}
+	return plain, enc
+}
+
+// Rand exposes the generator's random source for callers that need
+// correlated randomness (e.g. building authorizations for the same plan).
+func (g *Gen) Rand() *rand.Rand { return g.rnd }

@@ -1,0 +1,132 @@
+// Package profile implements the paper's relation content model (Section 3):
+// the relation profile, a 5-tuple [Rvp, Rve, Rip, Rie, R≃] capturing the
+// attributes a relation exposes — visible or implicit, plaintext or
+// encrypted — plus the closure of the equivalence relationships established
+// by conditions comparing attributes. Profile propagation follows Figure 2
+// of the paper operator by operator.
+package profile
+
+import (
+	"sort"
+	"strings"
+
+	"mpq/internal/algebra"
+)
+
+// EquivSets is the R≃ component of a profile: a disjoint-set structure over
+// attributes. Only sets of two or more attributes are represented;
+// singletons are implicit (an attribute not appearing in any set is
+// equivalent only to itself).
+type EquivSets struct {
+	sets []algebra.AttrSet
+}
+
+// NewEquivSets returns an empty equivalence structure.
+func NewEquivSets() *EquivSets { return &EquivSets{} }
+
+// Clone returns an independent deep copy.
+func (e *EquivSets) Clone() *EquivSets {
+	c := &EquivSets{sets: make([]algebra.AttrSet, len(e.sets))}
+	for i, s := range e.sets {
+		c.sets[i] = s.Clone()
+	}
+	return c
+}
+
+// Union inserts the equivalence relationship among the attributes of A,
+// merging every existing set that intersects A (the ∪ abuse of notation in
+// Section 3.2). A with fewer than two attributes is a no-op.
+func (e *EquivSets) Union(A algebra.AttrSet) {
+	if len(A) < 2 {
+		return
+	}
+	merged := A.Clone()
+	var rest []algebra.AttrSet
+	for _, s := range e.sets {
+		if len(s.Intersect(merged)) > 0 {
+			merged = merged.Union(s)
+		} else {
+			rest = append(rest, s)
+		}
+	}
+	e.sets = append(rest, merged)
+}
+
+// UnionAll merges every equivalence set of o into e (R≃i ∪ R≃j).
+func (e *EquivSets) UnionAll(o *EquivSets) {
+	for _, s := range o.sets {
+		e.Union(s)
+	}
+}
+
+// SetOf returns the equivalence set containing a, or nil when a is only
+// equivalent to itself.
+func (e *EquivSets) SetOf(a algebra.Attr) algebra.AttrSet {
+	for _, s := range e.sets {
+		if s.Has(a) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Sets returns the equivalence sets in deterministic order.
+func (e *EquivSets) Sets() []algebra.AttrSet {
+	out := make([]algebra.AttrSet, len(e.sets))
+	copy(out, e.sets)
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Attrs returns every attribute appearing in some equivalence set.
+func (e *EquivSets) Attrs() algebra.AttrSet {
+	out := algebra.NewAttrSet()
+	for _, s := range e.sets {
+		out = out.Union(s)
+	}
+	return out
+}
+
+// Len returns the number of equivalence sets (of size ≥ 2).
+func (e *EquivSets) Len() int { return len(e.sets) }
+
+// Same reports whether a and b are equivalent (in the same set, or equal).
+func (e *EquivSets) Same(a, b algebra.Attr) bool {
+	if a == b {
+		return true
+	}
+	s := e.SetOf(a)
+	return s != nil && s.Has(b)
+}
+
+// RefinedBy reports whether every set of e is contained in some set of o
+// (condition ii of Theorem 3.1: equivalence sets only grow up the plan).
+func (e *EquivSets) RefinedBy(o *EquivSets) bool {
+	for _, s := range e.sets {
+		contained := false
+		for _, t := range o.sets {
+			if s.SubsetOf(t) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether e and o represent the same partition.
+func (e *EquivSets) Equal(o *EquivSets) bool {
+	return len(e.sets) == len(o.sets) && e.RefinedBy(o) && o.RefinedBy(e)
+}
+
+// String renders the sets as {{a, b}, {c, d}} in deterministic order.
+func (e *EquivSets) String() string {
+	parts := make([]string, 0, len(e.sets))
+	for _, s := range e.Sets() {
+		parts = append(parts, s.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,124 @@
+package profile
+
+import (
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/plangen"
+)
+
+// TestTheorem31 verifies Theorem 3.1 over randomly generated plans that
+// respect the paper's assumption that projections are pushed down into the
+// leaves (plangen's Conform mode): for every node nx and descendant ny,
+//
+//	i)  every attribute in ny's profile also appears in nx's profile, and
+//	ii) every equivalence set of ny is contained in some set of nx.
+func TestTheorem31(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		g := plangen.New(plangen.Config{
+			Relations: 1 + int(seed%4), AttrsPerRel: 3, ExtraOps: 1 + int(seed%6),
+			UDFs: true, Conform: true, Seed: seed,
+		})
+		rels := g.Relations()
+		root := g.Plan(rels)
+		profs := ForPlan(root)
+
+		var check func(nx algebra.Node)
+		check = func(nx algebra.Node) {
+			px := profs[nx]
+			allX := px.AllAttrs()
+			var walkDesc func(ny algebra.Node)
+			walkDesc = func(ny algebra.Node) {
+				py := profs[ny]
+				if !py.AllAttrs().SubsetOf(allX) {
+					t.Fatalf("seed %d: Thm 3.1(i) violated\n nx=%s: %v\n ny=%s: %v",
+						seed, nx.Op(), px, ny.Op(), py)
+				}
+				if !py.Eq.RefinedBy(px.Eq) {
+					t.Fatalf("seed %d: Thm 3.1(ii) violated\n nx=%s: %v\n ny=%s: %v",
+						seed, nx.Op(), px.Eq, ny.Op(), py.Eq)
+				}
+				for _, c := range ny.Children() {
+					walkDesc(c)
+				}
+			}
+			for _, c := range nx.Children() {
+				walkDesc(c)
+			}
+			for _, c := range nx.Children() {
+				check(c)
+			}
+		}
+		check(root)
+	}
+}
+
+// TestTheorem31WeakInvariant verifies, over fully arbitrary plans (including
+// projections and group-bys that drop visible attributes), the part of
+// Theorem 3.1 that holds unconditionally: implicit attributes and
+// equivalence sets are never removed going up the plan.
+func TestTheorem31WeakInvariant(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		g := plangen.New(plangen.Config{
+			Relations: 1 + int(seed%4), AttrsPerRel: 3, ExtraOps: 1 + int(seed%6),
+			UDFs: true, Seed: seed,
+		})
+		root := g.Plan(g.Relations())
+		profs := ForPlan(root)
+		var walk func(parent, n algebra.Node)
+		walk = func(parent, n algebra.Node) {
+			if parent != nil {
+				pp, pn := profs[parent], profs[n]
+				sticky := pn.Implicit().Union(pn.Eq.Attrs())
+				if !sticky.SubsetOf(pp.AllAttrs()) {
+					t.Fatalf("seed %d: implicit/equivalence attributes dropped\n parent=%s: %v\n child=%s: %v",
+						seed, parent.Op(), pp, n.Op(), pn)
+				}
+				if !pn.Eq.RefinedBy(pp.Eq) {
+					t.Fatalf("seed %d: equivalence sets shrank", seed)
+				}
+			}
+			for _, c := range n.Children() {
+				walk(n, c)
+			}
+		}
+		walk(nil, root)
+	}
+}
+
+// TestGeneratedPlansValidate checks that the generator produces plans whose
+// operand visibility requirements hold (no encryption is involved, so every
+// attribute is plaintext visible where needed).
+func TestGeneratedPlansValidate(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		g := plangen.New(plangen.DefaultConfig(seed))
+		root := g.Plan(g.Relations())
+		if err := Validate(root); err != nil {
+			t.Fatalf("seed %d: generated plan does not validate: %v\n%s",
+				seed, err, algebra.Format(root, nil))
+		}
+	}
+}
+
+// TestProfileVisibleAttrsMatchSchema checks that for every generated plan
+// node, the visible components of the profile coincide with the node schema
+// (ignoring synthetic attributes).
+func TestProfileVisibleAttrsMatchSchema(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		g := plangen.New(plangen.DefaultConfig(seed))
+		root := g.Plan(g.Relations())
+		profs := ForPlan(root)
+		algebra.PostOrder(root, func(n algebra.Node) {
+			want := algebra.NewAttrSet()
+			for _, a := range n.Schema() {
+				if !algebra.IsSynthetic(a) {
+					want.Add(a)
+				}
+			}
+			if !profs[n].Visible().Equal(want) {
+				t.Fatalf("seed %d: node %s visible = %v, schema = %v",
+					seed, n.Op(), profs[n].Visible(), want)
+			}
+		})
+	}
+}

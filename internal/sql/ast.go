@@ -1,0 +1,365 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CompareOp is a comparison operator in a predicate.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpLike
+)
+
+// String renders the operator in SQL syntax.
+func (o CompareOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLeq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGeq:
+		return ">="
+	case OpLike:
+		return "LIKE"
+	}
+	return fmt.Sprintf("CompareOp(%d)", int(o))
+}
+
+// IsEquality reports whether the operator is plain equality, the only
+// comparison supported by deterministic encryption.
+func (o CompareOp) IsEquality() bool { return o == OpEq }
+
+// Flip returns the operator with its operands swapped (a < b  ==  b > a).
+func (o CompareOp) Flip() CompareOp {
+	switch o {
+	case OpLt:
+		return OpGt
+	case OpLeq:
+		return OpGeq
+	case OpGt:
+		return OpLt
+	case OpGeq:
+		return OpLeq
+	default:
+		return o
+	}
+}
+
+// AggFunc is an aggregate function name.
+type AggFunc string
+
+// Aggregate functions supported in SELECT and HAVING.
+const (
+	AggNone  AggFunc = ""
+	AggAvg   AggFunc = "avg"
+	AggSum   AggFunc = "sum"
+	AggCount AggFunc = "count"
+	AggMin   AggFunc = "min"
+	AggMax   AggFunc = "max"
+)
+
+// ColumnRef names a column, optionally qualified with its relation (or alias).
+type ColumnRef struct {
+	Table  string // optional qualifier
+	Column string
+}
+
+// String renders the reference in SQL syntax.
+func (c ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Value is a literal value in a predicate: a number or a string.
+type Value struct {
+	IsString bool
+	Str      string
+	Num      float64
+	Raw      string // original literal text for numbers
+}
+
+// StringValue constructs a string literal value.
+func StringValue(s string) Value { return Value{IsString: true, Str: s} }
+
+// NumberValue constructs a numeric literal value.
+func NumberValue(n float64) Value { return Value{Num: n, Raw: trimFloat(n)} }
+
+func trimFloat(n float64) string {
+	s := fmt.Sprintf("%g", n)
+	return s
+}
+
+// String renders the literal in SQL syntax.
+func (v Value) String() string {
+	if v.IsString {
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+	if v.Raw != "" {
+		return v.Raw
+	}
+	return trimFloat(v.Num)
+}
+
+// Expr is a node in a boolean predicate expression tree.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Comparison is a basic condition: either column-op-value ('a op x') or
+// column-op-column ('ai op aj'), the two forms in the paper's model.
+type Comparison struct {
+	Left     ColumnRef
+	Op       CompareOp
+	RightCol *ColumnRef // nil if the right-hand side is a literal
+	RightVal Value      // used when RightCol is nil
+	Agg      AggFunc    // aggregate applied to Left (HAVING predicates)
+}
+
+func (*Comparison) exprNode() {}
+
+// String renders the comparison in SQL syntax.
+func (c *Comparison) String() string {
+	lhs := c.Left.String()
+	if c.Agg != AggNone {
+		lhs = fmt.Sprintf("%s(%s)", c.Agg, lhs)
+	}
+	if c.RightCol != nil {
+		return fmt.Sprintf("%s %s %s", lhs, c.Op, c.RightCol)
+	}
+	return fmt.Sprintf("%s %s %s", lhs, c.Op, c.RightVal)
+}
+
+// BinaryLogic is an AND/OR combination of two predicates.
+type BinaryLogic struct {
+	And   bool // true for AND, false for OR
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryLogic) exprNode() {}
+
+// String renders the logical expression in SQL syntax.
+func (b *BinaryLogic) String() string {
+	op := "OR"
+	if b.And {
+		op = "AND"
+	}
+	return fmt.Sprintf("(%s %s %s)", b.Left, op, b.Right)
+}
+
+// NotExpr is a negated predicate.
+type NotExpr struct{ Inner Expr }
+
+func (*NotExpr) exprNode() {}
+
+// String renders the negation in SQL syntax.
+func (n *NotExpr) String() string { return fmt.Sprintf("NOT (%s)", n.Inner) }
+
+// SelectItem is one entry of the SELECT list: a column, an aggregate over a
+// column, count(*), or a UDF call over several columns.
+type SelectItem struct {
+	Star    bool      // count(*) when Agg == AggCount
+	Col     ColumnRef // the column (or the aggregate operand)
+	Agg     AggFunc
+	UDF     string      // non-empty for a user defined function call
+	UDFArgs []ColumnRef // arguments of the UDF
+	Alias   string      // optional AS alias
+}
+
+// String renders the item in SQL syntax.
+func (s SelectItem) String() string {
+	var out string
+	switch {
+	case s.UDF != "":
+		args := make([]string, len(s.UDFArgs))
+		for i, a := range s.UDFArgs {
+			args[i] = a.String()
+		}
+		out = fmt.Sprintf("%s(%s)", s.UDF, strings.Join(args, ", "))
+	case s.Agg != AggNone:
+		if s.Star {
+			out = fmt.Sprintf("%s(*)", s.Agg)
+		} else {
+			out = fmt.Sprintf("%s(%s)", s.Agg, s.Col)
+		}
+	default:
+		out = s.Col.String()
+	}
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// TableRef is a base relation in the FROM clause, with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// RefName returns the name by which columns of this table are qualified.
+func (t TableRef) RefName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// String renders the table reference in SQL syntax.
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " AS " + t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is an explicit JOIN ... ON ... element of the FROM clause.
+type JoinClause struct {
+	Table TableRef
+	On    Expr // nil for a cartesian product expressed as JOIN without ON
+}
+
+// OrderItem is one ORDER BY entry (parsed and preserved; ordering does not
+// affect the authorization model).
+type OrderItem struct {
+	Col  ColumnRef
+	Agg  AggFunc
+	Desc bool
+}
+
+// String renders the order item in SQL syntax.
+func (o OrderItem) String() string {
+	s := o.Col.String()
+	if o.Agg != AggNone {
+		s = fmt.Sprintf("%s(%s)", o.Agg, o.Col)
+	}
+	if o.Desc {
+		s += " DESC"
+	}
+	return s
+}
+
+// SelectStmt is a parsed SELECT statement in the fragment the paper
+// considers: select-from-where-group by-having (plus order by/limit, which
+// are carried through but do not influence profiles or authorizations).
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr // nil when absent
+	GroupBy  []ColumnRef
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// String renders the statement in SQL syntax.
+func (s *SelectStmt) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.String()
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteString(" FROM ")
+	sb.WriteString(s.From.String())
+	for _, j := range s.Joins {
+		sb.WriteString(" JOIN ")
+		sb.WriteString(j.Table.String())
+		if j.On != nil {
+			sb.WriteString(" ON ")
+			sb.WriteString(j.On.String())
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		cols := make([]string, len(s.GroupBy))
+		for i, c := range s.GroupBy {
+			cols[i] = c.String()
+		}
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(cols, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.String()
+		}
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(strings.Join(parts, ", "))
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", s.Limit)
+	}
+	return sb.String()
+}
+
+// WalkComparisons invokes fn on every basic comparison in the expression
+// tree, in left-to-right order.
+func WalkComparisons(e Expr, fn func(*Comparison)) {
+	switch x := e.(type) {
+	case nil:
+	case *Comparison:
+		fn(x)
+	case *BinaryLogic:
+		WalkComparisons(x.Left, fn)
+		WalkComparisons(x.Right, fn)
+	case *NotExpr:
+		WalkComparisons(x.Inner, fn)
+	}
+}
+
+// SplitConjuncts flattens an expression into its top-level AND-ed conjuncts.
+// An OR or NOT node is kept as a single opaque conjunct.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryLogic); ok && b.And {
+		return append(SplitConjuncts(b.Left), SplitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// JoinConjuncts rebuilds a single expression from conjuncts (nil for none).
+func JoinConjuncts(conjs []Expr) Expr {
+	var out Expr
+	for _, c := range conjs {
+		if out == nil {
+			out = c
+		} else {
+			out = &BinaryLogic{And: true, Left: out, Right: c}
+		}
+	}
+	return out
+}

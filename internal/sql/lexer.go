@@ -1,0 +1,227 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// LexError reports a lexical error with position information.
+type LexError struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string {
+	return fmt.Sprintf("lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer splits SQL text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Tokenize lexes the whole input, returning the token stream terminated by a
+// TokEOF token.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '-' && l.peekAt(1) == '-':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return &LexError{Msg: "unterminated block comment", Line: startLine, Col: startCol}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token in the input.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start, line, col := l.pos, l.line, l.col
+	mk := func(k TokenKind, text string) Token {
+		return Token{Kind: k, Text: text, Pos: start, Line: line, Col: col}
+	}
+	if l.pos >= len(l.src) {
+		return mk(TokEOF, ""), nil
+	}
+	c := l.peek()
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		if k, ok := keywords[strings.ToUpper(text)]; ok {
+			return mk(k, text), nil
+		}
+		return mk(TokIdent, text), nil
+	case isDigit(c):
+		sawDot := false
+		for l.pos < len(l.src) {
+			ch := l.peek()
+			if isDigit(ch) {
+				l.advance()
+				continue
+			}
+			if ch == '.' && !sawDot && isDigit(l.peekAt(1)) {
+				sawDot = true
+				l.advance()
+				continue
+			}
+			break
+		}
+		return mk(TokNumber, l.src[start:l.pos]), nil
+	case c == '\'':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, &LexError{Msg: "unterminated string literal", Line: line, Col: col}
+			}
+			ch := l.advance()
+			if ch == '\'' {
+				// Doubled quote escapes a quote.
+				if l.peek() == '\'' {
+					l.advance()
+					sb.WriteByte('\'')
+					continue
+				}
+				break
+			}
+			sb.WriteByte(ch)
+		}
+		t := mk(TokString, sb.String())
+		return t, nil
+	}
+	l.advance()
+	switch c {
+	case ',':
+		return mk(TokComma, ","), nil
+	case '.':
+		return mk(TokDot, "."), nil
+	case '(':
+		return mk(TokLParen, "("), nil
+	case ')':
+		return mk(TokRParen, ")"), nil
+	case '*':
+		return mk(TokStar, "*"), nil
+	case '+':
+		return mk(TokPlus, "+"), nil
+	case '-':
+		return mk(TokMinus, "-"), nil
+	case '/':
+		return mk(TokSlash, "/"), nil
+	case ';':
+		return mk(TokSemicolon, ";"), nil
+	case '=':
+		return mk(TokEq, "="), nil
+	case '<':
+		switch l.peek() {
+		case '=':
+			l.advance()
+			return mk(TokLeq, "<="), nil
+		case '>':
+			l.advance()
+			return mk(TokNeq, "<>"), nil
+		}
+		return mk(TokLt, "<"), nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(TokGeq, ">="), nil
+		}
+		return mk(TokGt, ">"), nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return mk(TokNeq, "!="), nil
+		}
+	}
+	return Token{}, &LexError{Msg: fmt.Sprintf("unexpected character %q", string(c)), Line: line, Col: col}
+}

@@ -1,0 +1,526 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a syntax error with position information.
+type ParseError struct {
+	Msg  string
+	Tok  Token
+	Line int
+	Col  int
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parser is a recursive-descent parser over a token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single SELECT statement from src.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	// Optional trailing semicolon.
+	if p.cur().Kind == TokSemicolon {
+		p.pos++
+	}
+	if p.cur().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after end of statement", p.cur())
+	}
+	return stmt, nil
+}
+
+// MustParse parses src and panics on error. It is intended for tests and
+// statically-known queries (e.g. the TPC-H workload definitions).
+func MustParse(src string) *SelectStmt {
+	stmt, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return stmt
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Msg: fmt.Sprintf(format, args...), Tok: t, Line: t.Line, Col: t.Col}
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errorf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k TokenKind) bool {
+	if p.cur().Kind == k {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if _, err := p.expect(TokSelect); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Limit: -1}
+	stmt.Distinct = p.accept(TokDistinct)
+
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+
+	if _, err := p.expect(TokFrom); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+
+	for {
+		if p.accept(TokInner) {
+			if _, err := p.expect(TokJoin); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(TokJoin) {
+			// Implicit cartesian product via comma-separated FROM list.
+			if p.accept(TokComma) {
+				tr, err := p.parseTableRef()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Joins = append(stmt.Joins, JoinClause{Table: tr})
+				continue
+			}
+			break
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		jc := JoinClause{Table: tr}
+		if p.accept(TokOn) {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			jc.On = cond
+		}
+		stmt.Joins = append(stmt.Joins, jc)
+	}
+
+	if p.accept(TokWhere) {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+
+	if p.accept(TokGroup) {
+		if _, err := p.expect(TokBy); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, c)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+
+	if p.accept(TokHaving) {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Having = h
+	}
+
+	if p.accept(TokOrder) {
+		if _, err := p.expect(TokBy); err != nil {
+			return nil, err
+		}
+		for {
+			var item OrderItem
+			col, agg, star, err := p.parsePossiblyAggregated()
+			if err != nil {
+				return nil, err
+			}
+			if star {
+				return nil, p.errorf("count(*) is not orderable by name; alias it in the SELECT list")
+			}
+			item.Col, item.Agg = col, agg
+			if p.accept(TokDesc) {
+				item.Desc = true
+			} else {
+				p.accept(TokAsc)
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+
+	if p.accept(TokLimit) {
+		t, err := p.expect(TokNumber)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.Text)
+		if err != nil {
+			return nil, p.errorf("invalid LIMIT %q", t.Text)
+		}
+		stmt.Limit = n
+	}
+
+	return stmt, nil
+}
+
+// parseSelectItem parses one SELECT-list entry.
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	if p.cur().Kind != TokIdent {
+		return item, p.errorf("expected column, aggregate, or UDF call, found %s", p.cur())
+	}
+	name := p.cur().Text
+	lower := strings.ToLower(name)
+	if agg := aggFromName(lower); agg != AggNone && p.toks[p.pos+1].Kind == TokLParen {
+		p.pos += 2 // consume name and '('
+		if agg == AggCount && p.cur().Kind == TokStar {
+			p.pos++
+			item.Agg = AggCount
+			item.Star = true
+		} else {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return item, err
+			}
+			item.Agg = agg
+			item.Col = col
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return item, err
+		}
+	} else if p.toks[p.pos+1].Kind == TokLParen {
+		// A UDF call: name(col, col, ...).
+		p.pos += 2
+		item.UDF = name
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return item, err
+			}
+			item.UDFArgs = append(item.UDFArgs, col)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return item, err
+		}
+	} else {
+		col, err := p.parseColumnRef()
+		if err != nil {
+			return item, err
+		}
+		item.Col = col
+	}
+	if p.accept(TokAs) {
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return item, err
+		}
+		item.Alias = t.Text
+	} else if p.cur().Kind == TokIdent {
+		// Bare alias (SELECT a b FROM ...) — accepted like PostgreSQL.
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+func aggFromName(lower string) AggFunc {
+	switch lower {
+	case "avg":
+		return AggAvg
+	case "sum":
+		return AggSum
+	case "count":
+		return AggCount
+	case "min":
+		return AggMin
+	case "max":
+		return AggMax
+	}
+	return AggNone
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Name: t.Text}
+	if p.accept(TokAs) {
+		a, err := p.expect(TokIdent)
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a.Text
+	} else if p.cur().Kind == TokIdent {
+		tr.Alias = p.next().Text
+	}
+	return tr, nil
+}
+
+func (p *Parser) parseColumnRef() (ColumnRef, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	c := ColumnRef{Column: t.Text}
+	if p.accept(TokDot) {
+		col, err := p.expect(TokIdent)
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		c.Table = t.Text
+		c.Column = col.Text
+	}
+	return c, nil
+}
+
+// parseExpr parses OR-level boolean expressions.
+func (p *Parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokOr) {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryLogic{And: false, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokAnd) {
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryLogic{And: true, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokNot) {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	if p.accept(TokLParen) {
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseComparison()
+}
+
+// parsePossiblyAggregated parses either col or agg(col) or count(*).
+func (p *Parser) parsePossiblyAggregated() (ColumnRef, AggFunc, bool, error) {
+	if p.cur().Kind == TokIdent {
+		if agg := aggFromName(strings.ToLower(p.cur().Text)); agg != AggNone && p.toks[p.pos+1].Kind == TokLParen {
+			p.pos += 2
+			if agg == AggCount && p.cur().Kind == TokStar {
+				p.pos++
+				if _, err := p.expect(TokRParen); err != nil {
+					return ColumnRef{}, AggNone, false, err
+				}
+				return ColumnRef{}, AggCount, true, nil
+			}
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return ColumnRef{}, AggNone, false, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return ColumnRef{}, AggNone, false, err
+			}
+			return col, agg, false, nil
+		}
+	}
+	col, err := p.parseColumnRef()
+	return col, AggNone, false, err
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, agg, star, err := p.parsePossiblyAggregated()
+	if err != nil {
+		return nil, err
+	}
+	if star {
+		left = ColumnRef{} // count(*) compared in HAVING
+	}
+
+	// BETWEEN lo AND hi desugars to (a >= lo AND a <= hi).
+	if p.accept(TokBetween) {
+		lo, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokAnd); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryLogic{
+			And:   true,
+			Left:  &Comparison{Left: left, Op: OpGeq, RightVal: lo, Agg: agg},
+			Right: &Comparison{Left: left, Op: OpLeq, RightVal: hi, Agg: agg},
+		}, nil
+	}
+
+	// IN (v1, v2, ...) desugars to a disjunction of equalities.
+	if p.accept(TokIn) {
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		var out Expr
+		for {
+			v, err := p.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			cmp := &Comparison{Left: left, Op: OpEq, RightVal: v, Agg: agg}
+			if out == nil {
+				out = cmp
+			} else {
+				out = &BinaryLogic{And: false, Left: out, Right: cmp}
+			}
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	var op CompareOp
+	switch p.cur().Kind {
+	case TokEq:
+		op = OpEq
+	case TokNeq:
+		op = OpNeq
+	case TokLt:
+		op = OpLt
+	case TokLeq:
+		op = OpLeq
+	case TokGt:
+		op = OpGt
+	case TokGeq:
+		op = OpGeq
+	case TokLike:
+		op = OpLike
+	default:
+		return nil, p.errorf("expected comparison operator, found %s", p.cur())
+	}
+	p.pos++
+
+	// Right-hand side: literal or column.
+	switch p.cur().Kind {
+	case TokNumber, TokString, TokMinus:
+		v, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		return &Comparison{Left: left, Op: op, RightVal: v, Agg: agg}, nil
+	case TokIdent:
+		// Could be a column ref or an aggregate on the right (rare); we only
+		// support plain columns on the right-hand side.
+		rc, err := p.parseColumnRef()
+		if err != nil {
+			return nil, err
+		}
+		return &Comparison{Left: left, Op: op, RightCol: &rc, Agg: agg}, nil
+	default:
+		return nil, p.errorf("expected literal or column after %s, found %s", op, p.cur())
+	}
+}
+
+func (p *Parser) parseValue() (Value, error) {
+	neg := p.accept(TokMinus)
+	switch p.cur().Kind {
+	case TokNumber:
+		t := p.next()
+		n, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return Value{}, p.errorf("invalid number %q", t.Text)
+		}
+		if neg {
+			n = -n
+			return Value{Num: n, Raw: "-" + t.Text}, nil
+		}
+		return Value{Num: n, Raw: t.Text}, nil
+	case TokString:
+		if neg {
+			return Value{}, p.errorf("cannot negate a string literal")
+		}
+		t := p.next()
+		return Value{IsString: true, Str: t.Text}, nil
+	default:
+		return Value{}, p.errorf("expected literal, found %s", p.cur())
+	}
+}

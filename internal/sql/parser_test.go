@@ -1,0 +1,263 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRunningExample(t *testing.T) {
+	// The paper's running example (Section 1).
+	q := "select T, avg(P) from Hosp join Ins on S=C where D='stroke' group by T having avg(P)>100"
+	stmt, err := Parse(q)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(stmt.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(stmt.Items))
+	}
+	if stmt.Items[0].Col.Column != "T" || stmt.Items[0].Agg != AggNone {
+		t.Errorf("item 0 = %+v", stmt.Items[0])
+	}
+	if stmt.Items[1].Agg != AggAvg || stmt.Items[1].Col.Column != "P" {
+		t.Errorf("item 1 = %+v", stmt.Items[1])
+	}
+	if stmt.From.Name != "Hosp" {
+		t.Errorf("from = %q", stmt.From.Name)
+	}
+	if len(stmt.Joins) != 1 || stmt.Joins[0].Table.Name != "Ins" {
+		t.Fatalf("joins = %+v", stmt.Joins)
+	}
+	on, ok := stmt.Joins[0].On.(*Comparison)
+	if !ok || on.Left.Column != "S" || on.RightCol == nil || on.RightCol.Column != "C" {
+		t.Errorf("join condition = %v", stmt.Joins[0].On)
+	}
+	w, ok := stmt.Where.(*Comparison)
+	if !ok || w.Left.Column != "D" || !w.RightVal.IsString || w.RightVal.Str != "stroke" {
+		t.Errorf("where = %v", stmt.Where)
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Column != "T" {
+		t.Errorf("group by = %v", stmt.GroupBy)
+	}
+	h, ok := stmt.Having.(*Comparison)
+	if !ok || h.Agg != AggAvg || h.Op != OpGt || h.RightVal.Num != 100 {
+		t.Errorf("having = %v", stmt.Having)
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	stmt := MustParse("select h.T, i.P from Hosp h join Ins i on h.S = i.C")
+	if stmt.Items[0].Col.Table != "h" || stmt.Items[0].Col.Column != "T" {
+		t.Errorf("item 0 = %+v", stmt.Items[0])
+	}
+	if stmt.From.RefName() != "h" {
+		t.Errorf("from ref = %q", stmt.From.RefName())
+	}
+	on := stmt.Joins[0].On.(*Comparison)
+	if on.Left.Table != "h" || on.RightCol.Table != "i" {
+		t.Errorf("on = %v", on)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	stmt := MustParse("select T as treatment, avg(P) as avg_premium from Hosp")
+	if stmt.Items[0].Alias != "treatment" || stmt.Items[1].Alias != "avg_premium" {
+		t.Errorf("aliases = %q, %q", stmt.Items[0].Alias, stmt.Items[1].Alias)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	stmt := MustParse("select count(*) as n from Hosp group by D")
+	if !stmt.Items[0].Star || stmt.Items[0].Agg != AggCount {
+		t.Errorf("item = %+v", stmt.Items[0])
+	}
+}
+
+func TestParseUDF(t *testing.T) {
+	stmt := MustParse("select riskscore(B, D) as risk from Hosp")
+	it := stmt.Items[0]
+	if it.UDF != "riskscore" || len(it.UDFArgs) != 2 {
+		t.Fatalf("udf item = %+v", it)
+	}
+	if it.UDFArgs[0].Column != "B" || it.UDFArgs[1].Column != "D" {
+		t.Errorf("udf args = %v", it.UDFArgs)
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	stmt := MustParse("select A from R where A > 1 and (B = 'x' or not C < 3)")
+	b, ok := stmt.Where.(*BinaryLogic)
+	if !ok || !b.And {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	or, ok := b.Right.(*BinaryLogic)
+	if !ok || or.And {
+		t.Fatalf("right = %#v", b.Right)
+	}
+	if _, ok := or.Right.(*NotExpr); !ok {
+		t.Fatalf("expected NOT, got %#v", or.Right)
+	}
+}
+
+func TestParseBetweenDesugars(t *testing.T) {
+	stmt := MustParse("select A from R where A between 5 and 10")
+	b, ok := stmt.Where.(*BinaryLogic)
+	if !ok || !b.And {
+		t.Fatalf("where = %#v", stmt.Where)
+	}
+	lo := b.Left.(*Comparison)
+	hi := b.Right.(*Comparison)
+	if lo.Op != OpGeq || lo.RightVal.Num != 5 || hi.Op != OpLeq || hi.RightVal.Num != 10 {
+		t.Errorf("between = %v / %v", lo, hi)
+	}
+}
+
+func TestParseInDesugars(t *testing.T) {
+	stmt := MustParse("select A from R where B in ('x','y','z')")
+	// Expect ((B='x' OR B='y') OR B='z').
+	n := 0
+	WalkComparisons(stmt.Where, func(c *Comparison) {
+		if c.Op != OpEq || c.Left.Column != "B" {
+			t.Errorf("comparison = %v", c)
+		}
+		n++
+	})
+	if n != 3 {
+		t.Errorf("conjunct count = %d, want 3", n)
+	}
+}
+
+func TestParseCommaJoin(t *testing.T) {
+	stmt := MustParse("select A from R1, R2, R3 where R1.A = R2.B")
+	if len(stmt.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(stmt.Joins))
+	}
+	if stmt.Joins[0].On != nil || stmt.Joins[1].On != nil {
+		t.Errorf("comma joins must have nil ON")
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	stmt := MustParse("select A, sum(B) from R group by A order by sum(B) desc, A limit 10")
+	if len(stmt.OrderBy) != 2 {
+		t.Fatalf("order by = %v", stmt.OrderBy)
+	}
+	if stmt.OrderBy[0].Agg != AggSum || !stmt.OrderBy[0].Desc {
+		t.Errorf("order 0 = %+v", stmt.OrderBy[0])
+	}
+	if stmt.Limit != 10 {
+		t.Errorf("limit = %d", stmt.Limit)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt := MustParse("select A from R where B = 'it''s'")
+	c := stmt.Where.(*Comparison)
+	if c.RightVal.Str != "it's" {
+		t.Errorf("string = %q", c.RightVal.Str)
+	}
+}
+
+func TestParseNegativeNumber(t *testing.T) {
+	stmt := MustParse("select A from R where B > -5.5")
+	c := stmt.Where.(*Comparison)
+	if c.RightVal.Num != -5.5 {
+		t.Errorf("num = %v", c.RightVal.Num)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt := MustParse("select A -- pick A\nfrom R /* the relation */ where B = 1")
+	if stmt.Items[0].Col.Column != "A" || stmt.From.Name != "R" {
+		t.Errorf("stmt = %v", stmt)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"select",
+		"select from R",
+		"select A R",              // missing FROM
+		"select A from",           // missing table
+		"select A from R where",   // missing predicate
+		"select A from R where B", // missing operator
+		"select A from R where B =",
+		"select A from R group", // missing BY
+		"select A from R where B = 'unterminated",
+		"select A from R extra_garbage ,",
+		"select A from R where B = 1 ; select",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	// String() output must re-parse to an equivalent statement.
+	queries := []string{
+		"select T, avg(P) from Hosp join Ins on S = C where D = 'stroke' group by T having avg(P) > 100",
+		"select a.X as x1, count(*) as n from A a join B b on a.K = b.K where a.V >= 3 group by a.X order by a.X limit 5",
+		"select riskscore(B, D) as r from Hosp where T <> 'none'",
+	}
+	for _, q := range queries {
+		s1 := MustParse(q)
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v\nrendered: %s", q, err, s1)
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("round trip mismatch:\n  first:  %s\n  second: %s", s1, s2)
+		}
+	}
+}
+
+func TestSplitJoinConjuncts(t *testing.T) {
+	stmt := MustParse("select A from R where A = 1 and B = 2 and (C = 3 or D = 4)")
+	conjs := SplitConjuncts(stmt.Where)
+	if len(conjs) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(conjs))
+	}
+	rebuilt := JoinConjuncts(conjs)
+	if !strings.Contains(rebuilt.String(), "OR") {
+		t.Errorf("rebuilt = %s", rebuilt)
+	}
+	if JoinConjuncts(nil) != nil {
+		t.Errorf("JoinConjuncts(nil) should be nil")
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := Tokenize("select\n  A from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("token A at %d:%d, want 2:3", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks, err := Tokenize("= <> != < <= > >=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokEq, TokNeq, TokNeq, TokLt, TokLeq, TokGt, TokGeq, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestCompareOpFlip(t *testing.T) {
+	pairs := map[CompareOp]CompareOp{
+		OpEq: OpEq, OpNeq: OpNeq, OpLt: OpGt, OpGt: OpLt, OpLeq: OpGeq, OpGeq: OpLeq,
+	}
+	for op, want := range pairs {
+		if got := op.Flip(); got != want {
+			t.Errorf("%v.Flip() = %v, want %v", op, got, want)
+		}
+	}
+}

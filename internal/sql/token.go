@@ -1,0 +1,160 @@
+// Package sql implements a lexer, parser, and abstract syntax tree for the
+// SQL fragment considered by the paper: queries of the general form
+// SELECT ... FROM ... [JOIN ... ON ...] [WHERE ...] [GROUP BY ...]
+// [HAVING ...], possibly spanning relations held by different data
+// authorities.
+package sql
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds produced by the lexer.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokComma
+	TokDot
+	TokLParen
+	TokRParen
+	TokStar
+	TokEq
+	TokNeq
+	TokLt
+	TokLeq
+	TokGt
+	TokGeq
+	TokPlus
+	TokMinus
+	TokSlash
+	TokSemicolon
+
+	// Keywords.
+	TokSelect
+	TokFrom
+	TokWhere
+	TokGroup
+	TokBy
+	TokHaving
+	TokJoin
+	TokInner
+	TokOn
+	TokAnd
+	TokOr
+	TokNot
+	TokAs
+	TokBetween
+	TokIn
+	TokLike
+	TokDistinct
+	TokOrder
+	TokAsc
+	TokDesc
+	TokLimit
+	TokNull
+	TokIs
+)
+
+var kindNames = map[TokenKind]string{
+	TokEOF:       "EOF",
+	TokIdent:     "identifier",
+	TokNumber:    "number",
+	TokString:    "string",
+	TokComma:     ",",
+	TokDot:       ".",
+	TokLParen:    "(",
+	TokRParen:    ")",
+	TokStar:      "*",
+	TokEq:        "=",
+	TokNeq:       "<>",
+	TokLt:        "<",
+	TokLeq:       "<=",
+	TokGt:        ">",
+	TokGeq:       ">=",
+	TokPlus:      "+",
+	TokMinus:     "-",
+	TokSlash:     "/",
+	TokSemicolon: ";",
+	TokSelect:    "SELECT",
+	TokFrom:      "FROM",
+	TokWhere:     "WHERE",
+	TokGroup:     "GROUP",
+	TokBy:        "BY",
+	TokHaving:    "HAVING",
+	TokJoin:      "JOIN",
+	TokInner:     "INNER",
+	TokOn:        "ON",
+	TokAnd:       "AND",
+	TokOr:        "OR",
+	TokNot:       "NOT",
+	TokAs:        "AS",
+	TokBetween:   "BETWEEN",
+	TokIn:        "IN",
+	TokLike:      "LIKE",
+	TokDistinct:  "DISTINCT",
+	TokOrder:     "ORDER",
+	TokAsc:       "ASC",
+	TokDesc:      "DESC",
+	TokLimit:     "LIMIT",
+	TokNull:      "NULL",
+	TokIs:        "IS",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// keywords maps upper-cased identifier text to keyword token kinds.
+var keywords = map[string]TokenKind{
+	"SELECT":   TokSelect,
+	"FROM":     TokFrom,
+	"WHERE":    TokWhere,
+	"GROUP":    TokGroup,
+	"BY":       TokBy,
+	"HAVING":   TokHaving,
+	"JOIN":     TokJoin,
+	"INNER":    TokInner,
+	"ON":       TokOn,
+	"AND":      TokAnd,
+	"OR":       TokOr,
+	"NOT":      TokNot,
+	"AS":       TokAs,
+	"BETWEEN":  TokBetween,
+	"IN":       TokIn,
+	"LIKE":     TokLike,
+	"DISTINCT": TokDistinct,
+	"ORDER":    TokOrder,
+	"ASC":      TokAsc,
+	"DESC":     TokDesc,
+	"LIMIT":    TokLimit,
+	"NULL":     TokNull,
+	"IS":       TokIs,
+}
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text (identifiers keep original case; strings are unquoted)
+	Pos  int    // byte offset in the input
+	Line int    // 1-based line number
+	Col  int    // 1-based column number
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,267 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpq/internal/algebra"
+	"mpq/internal/exec"
+)
+
+// Generate builds the eight TPC-H tables at the given scale factor with a
+// deterministic seed. Scale factors far below 1 are intended for the
+// executable examples and the distributed-execution tests; the cost
+// experiments of Figures 9 and 10 only need the catalog statistics.
+func Generate(sf float64, seed int64) map[string]*exec.Table {
+	g := &gen{rnd: rand.New(rand.NewSource(seed)), sf: sf}
+	out := make(map[string]*exec.Table, 8)
+	out["region"] = g.region()
+	out["nation"] = g.nation()
+	out["supplier"] = g.supplier()
+	out["customer"] = g.customer()
+	out["part"] = g.part()
+	out["partsupp"] = g.partsupp()
+	out["orders"], out["lineitem"] = g.ordersAndLineitem()
+	return out
+}
+
+type gen struct {
+	rnd *rand.Rand
+	sf  float64
+}
+
+func (g *gen) count(base float64) int {
+	n := int(math.Round(base * g.sf))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (g *gen) money(lo, hi float64) float64 {
+	return math.Round((lo+g.rnd.Float64()*(hi-lo))*100) / 100
+}
+
+func (g *gen) words(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			s += " "
+		}
+		s += commentWords[g.rnd.Intn(len(commentWords))]
+	}
+	return s
+}
+
+func attrs(rel string, names ...string) []algebra.Attr {
+	out := make([]algebra.Attr, len(names))
+	for i, n := range names {
+		out[i] = algebra.Attr{Rel: rel, Name: n}
+	}
+	return out
+}
+
+func (g *gen) region() *exec.Table {
+	t := exec.NewTable(attrs("region", "r_regionkey", "r_name", "r_comment"))
+	for i, name := range regionNames {
+		t.Append([]exec.Value{exec.Int(int64(i)), exec.String(name), exec.String(g.words(5))})
+	}
+	return t
+}
+
+func (g *gen) nation() *exec.Table {
+	t := exec.NewTable(attrs("nation", "n_nationkey", "n_name", "n_regionkey", "n_comment"))
+	for i, name := range nationNames {
+		t.Append([]exec.Value{
+			exec.Int(int64(i)), exec.String(name), exec.Int(int64(i % 5)), exec.String(g.words(6)),
+		})
+	}
+	return t
+}
+
+func (g *gen) supplier() *exec.Table {
+	t := exec.NewTable(attrs("supplier",
+		"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"))
+	n := g.count(10000)
+	for i := 1; i <= n; i++ {
+		t.Append([]exec.Value{
+			exec.Int(int64(i)),
+			exec.String(fmt.Sprintf("Supplier#%09d", i)),
+			exec.String(g.words(3)),
+			exec.Int(int64(g.rnd.Intn(25))),
+			exec.String(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+g.rnd.Intn(25), g.rnd.Intn(1000), g.rnd.Intn(1000), g.rnd.Intn(10000))),
+			exec.Float(g.money(-999.99, 9999.99)),
+			exec.String(g.words(7)),
+		})
+	}
+	return t
+}
+
+func (g *gen) customer() *exec.Table {
+	t := exec.NewTable(attrs("customer",
+		"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"))
+	n := g.count(150000)
+	for i := 1; i <= n; i++ {
+		t.Append([]exec.Value{
+			exec.Int(int64(i)),
+			exec.String(fmt.Sprintf("Customer#%09d", i)),
+			exec.String(g.words(3)),
+			exec.Int(int64(g.rnd.Intn(25))),
+			exec.String(fmt.Sprintf("%02d-%03d-%03d-%04d", 10+g.rnd.Intn(25), g.rnd.Intn(1000), g.rnd.Intn(1000), g.rnd.Intn(10000))),
+			exec.Float(g.money(-999.99, 9999.99)),
+			exec.String(segments[g.rnd.Intn(len(segments))]),
+			exec.String(g.words(8)),
+		})
+	}
+	return t
+}
+
+func (g *gen) part() *exec.Table {
+	t := exec.NewTable(attrs("part",
+		"p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container", "p_retailprice", "p_comment"))
+	n := g.count(200000)
+	for i := 1; i <= n; i++ {
+		mfgr := 1 + g.rnd.Intn(5)
+		brand := mfgr*10 + 1 + g.rnd.Intn(5)
+		name := nameWords[g.rnd.Intn(len(nameWords))] + " " + nameWords[g.rnd.Intn(len(nameWords))]
+		ptype := typeSyllables1[g.rnd.Intn(len(typeSyllables1))] + " " +
+			typeSyllables2[g.rnd.Intn(len(typeSyllables2))] + " " +
+			typeSyllables3[g.rnd.Intn(len(typeSyllables3))]
+		t.Append([]exec.Value{
+			exec.Int(int64(i)),
+			exec.String(name),
+			exec.String(fmt.Sprintf("Manufacturer#%d", mfgr)),
+			exec.String(fmt.Sprintf("Brand#%d", brand)),
+			exec.String(ptype),
+			exec.Int(int64(1 + g.rnd.Intn(50))),
+			exec.String(containers[g.rnd.Intn(len(containers))]),
+			exec.Float(g.money(900, 2000)),
+			exec.String(g.words(2)),
+		})
+	}
+	return t
+}
+
+func (g *gen) partsupp() *exec.Table {
+	t := exec.NewTable(attrs("partsupp",
+		"ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_value", "ps_comment"))
+	parts := g.count(200000)
+	supps := g.count(10000)
+	for p := 1; p <= parts; p++ {
+		for j := 0; j < 4; j++ {
+			qty := 1 + g.rnd.Intn(9999)
+			cost := g.money(1, 1000)
+			t.Append([]exec.Value{
+				exec.Int(int64(p)),
+				exec.Int(int64(1 + (p+j*parts/4)%supps)),
+				exec.Int(int64(qty)),
+				exec.Float(cost),
+				exec.Float(math.Round(cost*float64(qty)*100) / 100),
+				exec.String(g.words(10)),
+			})
+		}
+	}
+	return t
+}
+
+func (g *gen) ordersAndLineitem() (*exec.Table, *exec.Table) {
+	orders := exec.NewTable(attrs("orders",
+		"o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+		"o_orderpriority", "o_clerk", "o_shippriority", "o_comment"))
+	items := exec.NewTable(attrs("lineitem",
+		"l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+		"l_extendedprice", "l_discount", "l_tax", "l_revenue", "l_discrev",
+		"l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate",
+		"l_shipinstruct", "l_shipmode", "l_comment"))
+
+	nOrders := g.count(1500000)
+	nCust := g.count(150000)
+	nPart := g.count(200000)
+	nSupp := g.count(10000)
+	for o := 1; o <= nOrders; o++ {
+		orderDate := int64(g.rnd.Intn(MaxDate - 150))
+		nl := 1 + g.rnd.Intn(7)
+		var total float64
+		var allShipped, anyOpen bool = true, false
+		type line struct {
+			part, supp, qty       int64
+			price, disc, tax      float64
+			ship, commit, receipt int64
+			rf, ls                string
+		}
+		lines := make([]line, nl)
+		for i := range lines {
+			l := &lines[i]
+			l.part = int64(1 + g.rnd.Intn(nPart))
+			l.supp = int64(1 + g.rnd.Intn(nSupp))
+			l.qty = int64(1 + g.rnd.Intn(50))
+			l.price = g.money(901, 104949) / 100 * float64(l.qty)
+			l.price = math.Round(l.price*100) / 100
+			l.disc = float64(g.rnd.Intn(11)) / 100
+			l.tax = float64(g.rnd.Intn(9)) / 100
+			l.ship = orderDate + int64(1+g.rnd.Intn(121))
+			l.commit = orderDate + int64(30+g.rnd.Intn(61))
+			l.receipt = l.ship + int64(1+g.rnd.Intn(30))
+			if l.receipt <= int64(MaxDate)-1188 { // shipped long ago → returned or not
+				if g.rnd.Intn(2) == 0 {
+					l.rf = "R"
+				} else {
+					l.rf = "A"
+				}
+			} else {
+				l.rf = "N"
+			}
+			if l.ship > int64(MaxDate)-181 {
+				l.ls = "O"
+				anyOpen = true
+				allShipped = false
+			} else {
+				l.ls = "F"
+			}
+			total += l.price * (1 + l.tax)
+		}
+		status := "P"
+		if allShipped {
+			status = "F"
+		} else if anyOpen && !allShipped {
+			status = "O"
+		}
+		orders.Append([]exec.Value{
+			exec.Int(int64(o)),
+			exec.Int(int64(1 + g.rnd.Intn(nCust))),
+			exec.String(status),
+			exec.Float(math.Round(total*100) / 100),
+			exec.Int(orderDate),
+			exec.String(priorities[g.rnd.Intn(len(priorities))]),
+			exec.String(fmt.Sprintf("Clerk#%09d", 1+g.rnd.Intn(1000))),
+			exec.Int(0),
+			exec.String(g.words(6)),
+		})
+		for i, l := range lines {
+			revenue := math.Round(l.price*(1-l.disc)*100) / 100
+			discrev := math.Round(l.price*l.disc*100) / 100
+			items.Append([]exec.Value{
+				exec.Int(int64(o)),
+				exec.Int(l.part),
+				exec.Int(l.supp),
+				exec.Int(int64(i + 1)),
+				exec.Int(l.qty),
+				exec.Float(l.price),
+				exec.Float(l.disc),
+				exec.Float(l.tax),
+				exec.Float(revenue),
+				exec.Float(discrev),
+				exec.String(l.rf),
+				exec.String(l.ls),
+				exec.Int(l.ship),
+				exec.Int(l.commit),
+				exec.Int(l.receipt),
+				exec.String(instructs[g.rnd.Intn(len(instructs))]),
+				exec.String(shipmodes[g.rnd.Intn(len(shipmodes))]),
+				exec.String(g.words(4)),
+			})
+		}
+	}
+	return orders, items
+}

@@ -1,0 +1,211 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+
+	"mpq/internal/algebra"
+	"mpq/internal/assignment"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+	"mpq/internal/cost"
+	"mpq/internal/planner"
+)
+
+// Scenario names one of the three authorization configurations of the
+// paper's evaluation (Section 7).
+type Scenario string
+
+// The experiment scenarios.
+const (
+	// UA: base relations are accessible only to the user issuing the query
+	// (and to their own authorities); providers get nothing.
+	UA Scenario = "UA"
+	// UAPenc: providers are additionally authorized to access every
+	// attribute of every relation in encrypted form.
+	UAPenc Scenario = "UAPenc"
+	// UAPmix: as UAPenc, but half of the attributes are accessible to the
+	// providers in plaintext.
+	UAPmix Scenario = "UAPmix"
+)
+
+// Scenarios lists the three configurations in presentation order.
+func Scenarios() []Scenario { return []Scenario{UA, UAPenc, UAPmix} }
+
+// Experiment subjects: the user, the two authorities, and three providers.
+const User = authz.Subject("U")
+
+// Providers returns the cloud providers of the experiment.
+func Providers() []authz.Subject { return []authz.Subject{"X", "Y", "Z"} }
+
+// Subjects returns every subject of the experiment.
+func Subjects() []authz.Subject {
+	return append([]authz.Subject{User, AuthorityCO, AuthorityPS}, Providers()...)
+}
+
+// Policy builds the authorizations of a scenario over the catalog: each
+// authority holds full plaintext on its own relations, the user holds full
+// plaintext on everything (it must access query results), and providers get
+// the scenario-dependent default ('any') authorization.
+func Policy(cat *algebra.Catalog, sc Scenario) *authz.Policy {
+	pol := authz.NewPolicy()
+	for _, name := range cat.Names() {
+		rel := cat.Relation(name)
+		all := make([]string, len(rel.Columns))
+		for i, c := range rel.Columns {
+			all[i] = c.Name
+		}
+		pol.MustGrant(name, authz.Subject(rel.Authority), all, nil)
+		pol.MustGrant(name, User, all, nil)
+		switch sc {
+		case UAPenc:
+			pol.MustGrant(name, authz.Any, nil, all)
+		case UAPmix:
+			// Half of the attributes become plaintext for providers. The
+			// plaintext half is chosen consistently across relations — all
+			// join-key columns plus every other remaining column — because
+			// splitting a join-key pair across visibility classes would
+			// trip uniform visibility (Definition 4.1, condition 3) and
+			// lock providers out of the joins the scenario means to enable.
+			var plain, enc []string
+			odd := false
+			for _, col := range rel.Columns {
+				c := col.Name
+				if strings.HasSuffix(c, "key") || col.Type == algebra.TDate {
+					plain = append(plain, c)
+					continue
+				}
+				if odd {
+					plain = append(plain, c)
+				} else {
+					enc = append(enc, c)
+				}
+				odd = !odd
+			}
+			pol.MustGrant(name, authz.Any, plain, enc)
+		}
+	}
+	return pol
+}
+
+// System builds the authorization system of a scenario, with attribute
+// type information so the plaintext requirements respect scheme domains.
+func System(cat *algebra.Catalog, sc Scenario) *core.System {
+	sys := core.NewSystem(Policy(cat, sc), Subjects()...)
+	sys.Types = cat.TypesOf()
+	return sys
+}
+
+// Model builds the Section 7 price/network configuration.
+func Model() *cost.Model {
+	return cost.NewPaperModel(User, []authz.Subject{AuthorityCO, AuthorityPS}, Providers())
+}
+
+// Row is the costed execution of one query under the three scenarios.
+type Row struct {
+	Query int
+	Name  string
+	Cost  map[Scenario]float64 // absolute USD
+	Norm  map[Scenario]float64 // normalized to UA = 1
+}
+
+// Results is the outcome of the cost experiment: per-query rows (Figure 9)
+// plus the aggregate savings (Figure 10).
+type Results struct {
+	SF   float64
+	Rows []Row
+}
+
+// Cumulative returns the running total of normalized costs per scenario in
+// query order (the Figure 10 series).
+func (r *Results) Cumulative() map[Scenario][]float64 {
+	out := make(map[Scenario][]float64)
+	for _, sc := range Scenarios() {
+		acc := 0.0
+		series := make([]float64, len(r.Rows))
+		for i, row := range r.Rows {
+			acc += row.Norm[sc]
+			series[i] = acc
+		}
+		out[sc] = series
+	}
+	return out
+}
+
+// Savings returns the total saving of a scenario relative to UA, as a
+// fraction in [0,1] (the paper reports 54.2% for UAPenc and 71.3% for
+// UAPmix).
+func (r *Results) Savings(sc Scenario) float64 {
+	var ua, s float64
+	for _, row := range r.Rows {
+		ua += row.Norm[UA]
+		s += row.Norm[sc]
+	}
+	if ua == 0 {
+		return 0
+	}
+	return 1 - s/ua
+}
+
+// RunCostExperiment plans the 22 queries against the catalog at the given
+// scale factor and optimizes the operation assignment under each scenario,
+// reproducing the per-query (Figure 9) and cumulative (Figure 10) economic
+// cost comparison.
+func RunCostExperiment(sf float64) (*Results, error) {
+	cat := Catalog(sf)
+	pl := planner.New(cat)
+	m := Model()
+	systems := make(map[Scenario]*core.System, 3)
+	for _, sc := range Scenarios() {
+		systems[sc] = System(cat, sc)
+	}
+
+	res := &Results{SF: sf}
+	for _, q := range Queries() {
+		plan, err := pl.PlanSQL(q.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("tpch: planning Q%d: %w", q.Num, err)
+		}
+		row := Row{Query: q.Num, Name: q.Name,
+			Cost: make(map[Scenario]float64), Norm: make(map[Scenario]float64)}
+		for _, sc := range Scenarios() {
+			sys := systems[sc]
+			an := sys.Analyze(plan.Root, nil)
+			opt, err := assignment.Optimize(sys, an, m, assignment.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("tpch: optimizing Q%d under %s: %w", q.Num, sc, err)
+			}
+			row.Cost[sc] = opt.Cost.Total()
+		}
+		for _, sc := range Scenarios() {
+			row.Norm[sc] = row.Cost[sc] / row.Cost[UA]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// FormatFigure9 renders the per-query normalized costs as the paper's
+// Figure 9 table.
+func (r *Results) FormatFigure9() string {
+	out := fmt.Sprintf("%-5s %-36s %8s %8s %8s\n", "query", "name", "UA", "UAPenc", "UAPmix")
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("Q%-4d %-36s %8.3f %8.3f %8.3f\n",
+			row.Query, row.Name, row.Norm[UA], row.Norm[UAPenc], row.Norm[UAPmix])
+	}
+	return out
+}
+
+// FormatFigure10 renders the cumulative normalized costs (Figure 10) and
+// the total savings.
+func (r *Results) FormatFigure10() string {
+	cum := r.Cumulative()
+	out := fmt.Sprintf("%-5s %10s %10s %10s\n", "query", "UA", "UAPenc", "UAPmix")
+	for i, row := range r.Rows {
+		out += fmt.Sprintf("Q%-4d %10.3f %10.3f %10.3f\n",
+			row.Query, cum[UA][i], cum[UAPenc][i], cum[UAPmix][i])
+	}
+	out += fmt.Sprintf("\nsavings vs UA: UAPenc %.1f%%  UAPmix %.1f%%  (paper: 54.2%% / 71.3%%)\n",
+		100*r.Savings(UAPenc), 100*r.Savings(UAPmix))
+	return out
+}

@@ -1,0 +1,64 @@
+package mpq
+
+import (
+	"testing"
+
+	"mpq/internal/algebra"
+)
+
+// TestFacadeEndToEnd exercises the public facade on the running example:
+// policy parsing, planning, optimization, and the invariants of the result.
+func TestFacadeEndToEnd(t *testing.T) {
+	cat := NewCatalog()
+	cat.Add(&Relation{Name: "Hosp", Authority: "H", Rows: 1000, Columns: []Column{
+		{Name: "S", Type: algebra.TString, Width: 11, Distinct: 1000},
+		{Name: "B", Type: algebra.TDate, Width: 8, Distinct: 500},
+		{Name: "D", Type: algebra.TString, Width: 20, Distinct: 50},
+		{Name: "T", Type: algebra.TString, Width: 20, Distinct: 40},
+	}})
+	cat.Add(&Relation{Name: "Ins", Authority: "I", Rows: 5000, Columns: []Column{
+		{Name: "C", Type: algebra.TString, Width: 11, Distinct: 5000},
+		{Name: "P", Type: algebra.TFloat, Width: 8, Distinct: 800},
+	}})
+
+	pol := NewPolicy()
+	for _, r := range []struct{ rel, spec string }{
+		{"Hosp", "[S,B,D,T ; ] -> H"}, {"Hosp", "[S,D,T ; ] -> U"},
+		{"Hosp", "[D,T ; S] -> X"}, {"Hosp", "[B,D,T ; S] -> Y"},
+		{"Ins", "[C,P ; ] -> I"}, {"Ins", "[C,P ; ] -> U"},
+		{"Ins", "[ ; C,P] -> X"}, {"Ins", "[P ; C] -> Y"},
+	} {
+		pol.MustParseRule(r.rel, r.spec)
+	}
+
+	sys := NewSystem(pol, "H", "I", "U", "X", "Y")
+	plan, err := PlanQuery(cat,
+		"select T, avg(P) from Hosp join Ins on S=C where D='stroke' group by T having avg(P)>100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := NewPaperModel("U", []Subject{"H", "I"}, []Subject{"X", "Y"})
+	res, err := Optimize(sys, plan, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost.Total() <= 0 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if res.Extended == nil || res.Extended.Root == nil {
+		t.Fatalf("no extended plan")
+	}
+	// The facade result is an authorized assignment.
+	if err := sys.CheckAssignment(res.Extended.Root, res.Extended.Assign); err != nil {
+		t.Errorf("facade optimum not authorized: %v", err)
+	}
+	// The user must be able to request the query.
+	if err := sys.CheckUserAccess("U", plan.Root); err != nil {
+		t.Errorf("user access: %v", err)
+	}
+	// Any is usable through the facade.
+	pol2 := NewPolicy()
+	if err := pol2.Grant("R", Any, []string{"a"}, nil); err != nil {
+		t.Errorf("Any grant: %v", err)
+	}
+}
