@@ -1,0 +1,214 @@
+// Command engbench measures closed-loop engine throughput: N client
+// goroutines issue TPC-H queries back-to-back against one engine, and the
+// harness reports queries/sec and mean latency per configuration — the
+// sequential vs parallel distributed runtime, with cold (cache disabled,
+// every query re-runs the full authorize/extend/assign/key pipeline) vs
+// cached (authorized plans reused) planning. Results are written as JSON
+// (BENCH_engine.json in the repo records a baseline).
+//
+//	engbench -sf 0.001 -duration 3s -clients 1,2,4,8 -out BENCH_engine.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpq/internal/distsim"
+	"mpq/internal/engine"
+	"mpq/internal/tpch"
+)
+
+type cell struct {
+	Config  string  `json:"config"`
+	Clients int     `json:"clients"`
+	Queries uint64  `json:"queries"`
+	Seconds float64 `json:"seconds"`
+	QPS     float64 `json:"qps"`
+	MeanMs  float64 `json:"mean_ms"`
+}
+
+type report struct {
+	Scenario     string  `json:"scenario"`
+	SF           float64 `json:"sf"`
+	Seed         int64   `json:"seed"`
+	PaillierBits int     `json:"paillier_bits"`
+	Queries      []int   `json:"queries"`
+	DurationSec  float64 `json:"duration_per_cell_sec"`
+	// RTTMs and LinkMBps describe the simulated wide-area links between
+	// subjects; CPUs and GOMAXPROCS record the host parallelism. Fragment
+	// concurrency overlaps link latency even on one core, while CPU-bound
+	// speedups are bounded by GOMAXPROCS.
+	RTTMs      float64 `json:"link_rtt_ms"`
+	LinkMBps   float64 `json:"link_mbps"`
+	CPUs       int     `json:"cpus"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Results    []cell  `json:"results"`
+}
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "UAPenc", "authorization scenario")
+		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor")
+		seed     = flag.Int64("seed", 99, "data generator seed")
+		paillier = flag.Int("paillier-bits", 128, "Paillier prime size in bits")
+		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
+		clients  = flag.String("clients", "1,2,4,8", "comma-separated client counts")
+		queryStr = flag.String("queries", "3,6,10", "comma-separated TPC-H query numbers")
+		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
+		mbps     = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
+		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
+	)
+	flag.Parse()
+
+	clientCounts, err := parseInts(*clients)
+	if err != nil {
+		log.Fatalf("engbench: -clients: %v", err)
+	}
+	queryNums, err := parseInts(*queryStr)
+	if err != nil {
+		log.Fatalf("engbench: -queries: %v", err)
+	}
+	sqls := make([]string, 0, len(queryNums))
+	for _, num := range queryNums {
+		found := false
+		for _, q := range tpch.Queries() {
+			if q.Num == num {
+				sqls = append(sqls, q.SQL)
+				found = true
+			}
+		}
+		if !found {
+			log.Fatalf("engbench: no TPC-H query %d", num)
+		}
+	}
+
+	rep := report{
+		Scenario:     *scenario,
+		SF:           *sf,
+		Seed:         *seed,
+		PaillierBits: *paillier,
+		Queries:      queryNums,
+		DurationSec:  duration.Seconds(),
+		RTTMs:        float64(rtt.Milliseconds()),
+		LinkMBps:     *mbps,
+		CPUs:         runtime.NumCPU(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+	}
+	var delay *distsim.LinkDelay
+	if *rtt > 0 {
+		delay = &distsim.LinkDelay{RTT: *rtt, BytesPerSec: *mbps * 1e6}
+	}
+
+	configs := []struct {
+		name       string
+		sequential bool
+		cached     bool
+	}{
+		{"sequential-cold", true, false},
+		{"parallel-cold", false, false},
+		{"sequential-cached", true, true},
+		{"parallel-cached", false, true},
+	}
+	for _, c := range configs {
+		cfg := engine.TPCHConfig(tpch.Scenario(*scenario), *sf, *seed)
+		cfg.Sequential = c.sequential
+		cfg.PaillierBits = *paillier
+		cfg.LinkDelay = delay
+		if !c.cached {
+			cfg.CacheSize = -1
+		}
+		eng, err := engine.New(cfg)
+		if err != nil {
+			log.Fatalf("engbench: %v", err)
+		}
+		if c.cached { // warm every plan before measuring
+			for _, s := range sqls {
+				if _, err := eng.Query(s); err != nil {
+					log.Fatalf("engbench: warmup: %v", err)
+				}
+			}
+		}
+		for _, n := range clientCounts {
+			res := run(eng, sqls, n, *duration)
+			res.Config = c.name
+			rep.Results = append(rep.Results, res)
+			log.Printf("%-18s clients=%d  %7.2f q/s  %8.2f ms/query", c.name, n, res.QPS, res.MeanMs)
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engbench: wrote %s\n", *out)
+}
+
+// run drives the closed loop: clients goroutines issue the query mix
+// round-robin until the window elapses.
+func run(eng *engine.Engine, sqls []string, clients int, window time.Duration) cell {
+	var done atomic.Bool
+	var completed atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(offset int) {
+			defer wg.Done()
+			for i := offset; !done.Load(); i++ {
+				if _, err := eng.Query(sqls[i%len(sqls)]); err != nil {
+					log.Fatalf("engbench: query: %v", err)
+				}
+				completed.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(window)
+	done.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	n := completed.Load()
+	res := cell{Clients: clients, Queries: n, Seconds: elapsed}
+	if elapsed > 0 {
+		res.QPS = float64(n) / elapsed
+	}
+	if n > 0 {
+		res.MeanMs = elapsed * 1000 * float64(clients) / float64(n)
+	}
+	return res
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad entry %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+// Command mpqd serves multi-provider queries over HTTP/JSON: a long-lived
+// engine (internal/engine) over the TPC-H scenario harness, exposing query
+// submission, authorization grant/revoke, and engine statistics.
+//
+//	mpqd -addr :8399 -scenario UAPenc -sf 0.01 -seed 1
+//
+// Endpoints:
+//
+//	POST /query   {"sql": "select ..."}
+//	POST /grant   {"relation": "lineitem", "subject": "X", "plain": [...], "enc": [...]}
+//	POST /revoke  {"relation": "lineitem", "subject": "X"}
+//	GET  /stats
+//	GET  /healthz
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mpq/internal/authz"
+	"mpq/internal/crypto"
+	"mpq/internal/distsim"
+	"mpq/internal/engine"
+	"mpq/internal/tpch"
+)
+
+const maxBodyBytes = 1 << 20
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8399", "listen address")
+		scenario   = flag.String("scenario", "UAPenc", "authorization scenario: UA, UAPenc, or UAPmix")
+		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor")
+		seed       = flag.Int64("seed", 1, "data generator seed")
+		sequential = flag.Bool("sequential", false, "use the sequential distributed runtime")
+		cacheSize  = flag.Int("cache", 0, "authorized-plan cache entries (0 = default, negative disables)")
+		paillier   = flag.Int("paillier-bits", crypto.DefaultPaillierBits, "Paillier prime size in bits")
+		rtt        = flag.Duration("rtt", 0, "simulated inter-subject link RTT (0 disables)")
+		mbps       = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
+	)
+	flag.Parse()
+
+	sc := tpch.Scenario(*scenario)
+	switch sc {
+	case tpch.UA, tpch.UAPenc, tpch.UAPmix:
+	default:
+		fmt.Fprintf(os.Stderr, "mpqd: unknown scenario %q (want UA, UAPenc, or UAPmix)\n", *scenario)
+		os.Exit(2)
+	}
+
+	log.Printf("mpqd: generating TPC-H data (sf=%g seed=%d scenario=%s)", *sf, *seed, sc)
+	cfg := engine.TPCHConfig(sc, *sf, *seed)
+	cfg.Sequential = *sequential
+	cfg.CacheSize = *cacheSize
+	cfg.PaillierBits = *paillier
+	if *rtt > 0 {
+		cfg.LinkDelay = &distsim.LinkDelay{RTT: *rtt, BytesPerSec: *mbps * 1e6}
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		log.Fatalf("mpqd: %v", err)
+	}
+
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /grant", s.handleGrant)
+	mux.HandleFunc("POST /revoke", s.handleRevoke)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: mux,
+		// Bound slow clients; WriteTimeout stays 0 because cold queries at
+		// large scale factors legitimately run for seconds.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("mpqd: serving on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+type server struct {
+	eng *engine.Engine
+}
+
+type queryRequest struct {
+	SQL string `json:"sql"`
+}
+
+type queryResponse struct {
+	Headers      []string   `json:"headers"`
+	Rows         [][]string `json:"rows"`
+	CacheHit     bool       `json:"cache_hit"`
+	AuthzVersion uint64     `json:"authz_version"`
+	Executors    []string   `json:"executors"`
+	CostUSD      float64    `json:"cost_usd"`
+	Transfers    int        `json:"transfers"`
+	BytesShipped int64      `json:"bytes_shipped"`
+	PlanMs       float64    `json:"plan_ms"`
+	ExecMs       float64    `json:"exec_ms"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	resp, err := s.eng.Query(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	rows := make([][]string, len(resp.Table.Rows))
+	for i, row := range resp.Table.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		rows[i] = cells
+	}
+	executors := make([]string, len(resp.Executors))
+	for i, e := range resp.Executors {
+		executors[i] = string(e)
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Headers:      resp.Headers,
+		Rows:         rows,
+		CacheHit:     resp.CacheHit,
+		AuthzVersion: resp.AuthzVersion,
+		Executors:    executors,
+		CostUSD:      resp.Cost.Total(),
+		Transfers:    len(resp.Transfers),
+		BytesShipped: resp.BytesShipped(),
+		PlanMs:       float64(resp.PlanTime.Microseconds()) / 1e3,
+		ExecMs:       float64(resp.ExecTime.Microseconds()) / 1e3,
+	})
+}
+
+type grantRequest struct {
+	Relation string   `json:"relation"`
+	Subject  string   `json:"subject"`
+	Plain    []string `json:"plain"`
+	Enc      []string `json:"enc"`
+}
+
+func (s *server) handleGrant(w http.ResponseWriter, r *http.Request) {
+	var req grantRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Relation == "" || req.Subject == "" {
+		writeError(w, http.StatusBadRequest, "missing relation or subject")
+		return
+	}
+	v, err := s.eng.Grant(req.Relation, authz.Subject(req.Subject), req.Plain, req.Enc)
+	if err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"authz_version": v})
+}
+
+type revokeRequest struct {
+	Relation string `json:"relation"`
+	Subject  string `json:"subject"`
+}
+
+func (s *server) handleRevoke(w http.ResponseWriter, r *http.Request) {
+	var req revokeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Relation == "" || req.Subject == "" {
+		writeError(w, http.StatusBadRequest, "missing relation or subject")
+		return
+	}
+	v, revoked := s.eng.Revoke(req.Relation, authz.Subject(req.Subject))
+	writeJSON(w, http.StatusOK, map[string]any{"authz_version": v, "revoked": revoked})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.eng.Stats())
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("mpqd: encoding response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

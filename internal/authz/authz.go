@@ -48,8 +48,16 @@ func names(s algebra.AttrSet) string {
 // Policy is the collection of authorizations of all data authorities. Each
 // authority specifies rules for its own relations independently; the policy
 // is closed (whatever is not explicitly granted is denied).
+//
+// A Policy carries a monotonic version counter bumped by every successful
+// Grant and Revoke. Long-lived services key derived state (cached authorized
+// plans, memoized views) on the version so that a policy mutation invalidates
+// everything computed under the previous authorization state. The Policy
+// itself is not synchronized: callers that mutate it concurrently with reads
+// must provide their own locking (internal/engine wraps it in an RWMutex).
 type Policy struct {
-	rules map[string]map[Subject]*Authorization // relation → subject → rule
+	rules   map[string]map[Subject]*Authorization // relation → subject → rule
+	version uint64
 }
 
 // NewPolicy returns an empty policy.
@@ -82,7 +90,52 @@ func (p *Policy) Grant(rel string, subject Subject, plain, enc []string) error {
 		return fmt.Errorf("authz: subject %s already holds an authorization on %s", subject, rel)
 	}
 	byS[subject] = &Authorization{Relation: rel, Subject: subject, Plain: ps, Enc: es}
+	p.version++
 	return nil
+}
+
+// Revoke removes the authorization subject holds on rel, reporting whether
+// one was present. Revoking the Any rule removes the relation's default; a
+// subject with no explicit rule falls back to that default, so revoking an
+// explicit rule can widen as well as narrow a subject's view.
+func (p *Policy) Revoke(rel string, subject Subject) bool {
+	byS := p.rules[rel]
+	if byS == nil {
+		return false
+	}
+	if _, ok := byS[subject]; !ok {
+		return false
+	}
+	delete(byS, subject)
+	if len(byS) == 0 {
+		delete(p.rules, rel)
+	}
+	p.version++
+	return true
+}
+
+// Version returns the policy's authorization-state version: a counter bumped
+// by every successful Grant and Revoke since the policy was created.
+func (p *Policy) Version() uint64 { return p.version }
+
+// Clone returns a snapshot of the policy at its current version: an
+// independent copy of the rule maps (Authorization values are shared — they
+// are never mutated in place — so a clone is cheap). Long-running analyses
+// can run against a consistent snapshot while the original policy keeps
+// accepting grants and revocations.
+func (p *Policy) Clone() *Policy {
+	c := &Policy{
+		rules:   make(map[string]map[Subject]*Authorization, len(p.rules)),
+		version: p.version,
+	}
+	for rel, byS := range p.rules {
+		m := make(map[Subject]*Authorization, len(byS))
+		for s, a := range byS {
+			m[s] = a
+		}
+		c.rules[rel] = m
+	}
+	return c
 }
 
 // MustGrant is Grant panicking on error, for statically-known policies.

@@ -10,6 +10,8 @@ package distsim
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"mpq/internal/algebra"
 	"mpq/internal/authz"
@@ -17,6 +19,28 @@ import (
 	"mpq/internal/crypto"
 	"mpq/internal/exec"
 )
+
+// LinkDelay models the wide-area links between subjects: every transfer
+// stalls for RTT plus the serialization time of its bytes before the
+// consumer proceeds. The zero value (nil pointer on the network) keeps the
+// seed's instantaneous links. Under the parallel runtime, transfers on
+// independent subtrees overlap each other and the producers' computation,
+// exactly as in a real multi-cloud deployment.
+type LinkDelay struct {
+	RTT         time.Duration
+	BytesPerSec float64
+}
+
+func (d *LinkDelay) delayFor(bytes int64) time.Duration {
+	if d == nil {
+		return 0
+	}
+	dur := d.RTT
+	if d.BytesPerSec > 0 {
+		dur += time.Duration(float64(bytes) / d.BytesPerSec * float64(time.Second))
+	}
+	return dur
+}
 
 // Transfer records one inter-subject shipment of an intermediate relation.
 type Transfer struct {
@@ -27,13 +51,22 @@ type Transfer struct {
 }
 
 // Network is the set of subjects and the transfer ledger of one execution.
+// Registration (AddSubject, Subject, DistributeKeys) and the parallel
+// runtime are safe for concurrent use; the sequential Execute mutates the
+// subjects' executors and must not run concurrently on the same network —
+// long-lived services execute every run on a Clone instead.
 type Network struct {
+	mu       sync.Mutex // guards subjects
 	subjects map[authz.Subject]*exec.Executor
 	UDFs     map[string]exec.UDFFunc
 	preRings map[string]*crypto.KeyRing
+	// Delay, when set, simulates link latency on every transfer.
+	Delay *LinkDelay
 	// Transfers is the ledger of inter-subject shipments, in completion
-	// order.
+	// order. ledgerMu guards appends from concurrent fragment workers;
+	// reading the ledger is safe once execution has completed.
 	Transfers []Transfer
+	ledgerMu  sync.Mutex
 }
 
 // NewNetwork returns an empty network.
@@ -56,19 +89,50 @@ func (nw *Network) AddSubject(s authz.Subject, tables map[string]*exec.Table) *e
 	for name, t := range tables {
 		e.Tables[name] = t
 	}
+	nw.mu.Lock()
 	nw.subjects[s] = e
+	nw.mu.Unlock()
 	return e
 }
 
 // Subject returns the executor of a subject (creating an empty one on
 // first use).
 func (nw *Network) Subject(s authz.Subject) *exec.Executor {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
 	if e, ok := nw.subjects[s]; ok {
 		return e
 	}
 	e := exec.NewExecutor()
 	nw.subjects[s] = e
 	return e
+}
+
+// Clone returns a network whose subjects share the receiver's tables, key
+// material, and UDF registries but carry fresh per-execution state and an
+// empty transfer ledger. A prepared network (subjects registered, keys
+// distributed) can be cloned once per run, so concurrent executions of the
+// same cached plan never share mutable executor state.
+func (nw *Network) Clone() *Network {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	c := &Network{
+		subjects: make(map[authz.Subject]*exec.Executor, len(nw.subjects)),
+		UDFs:     nw.UDFs,
+		preRings: nw.preRings,
+		Delay:    nw.Delay,
+	}
+	for s, e := range nw.subjects {
+		c.subjects[s] = e.Clone()
+	}
+	return c
+}
+
+// record appends a transfer to the ledger, safely from concurrent workers.
+func (nw *Network) record(t Transfer) {
+	nw.ledgerMu.Lock()
+	nw.Transfers = append(nw.Transfers, t)
+	nw.ledgerMu.Unlock()
 }
 
 // DistributeKeys generates the key rings of an extended plan and hands each
@@ -141,9 +205,13 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 			}
 			ct := results[c]
 			if cs := executor(c); cs != subj {
-				nw.Transfers = append(nw.Transfers, Transfer{
+				t := Transfer{
 					From: cs, To: subj, Rows: ct.Len(), Bytes: tableBytes(ct), Op: n.Op(),
-				})
+				}
+				nw.record(t)
+				if d := nw.Delay.delayFor(t.Bytes); d > 0 {
+					time.Sleep(d)
+				}
 			}
 			ex.Materialized[c] = ct
 		}

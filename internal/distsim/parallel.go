@@ -1,0 +1,154 @@
+package distsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+	"mpq/internal/exec"
+)
+
+// The parallel runtime replaces the sequential recursion of Execute with
+// one worker goroutine per plan fragment: a fragment is the maximal
+// connected subtree of the extended plan executed by a single subject (the
+// same decomposition dispatch.Partition renders as Figure 8 sub-queries).
+// Workers exchange sub-results over channels, so independent subtrees — the
+// two sides of a join assigned to different providers, the per-authority
+// scans feeding a user-side aggregate — evaluate concurrently, while the
+// operations inside one fragment keep their sequential order (they form a
+// chain on one subject's executor). Every cross-fragment shipment is
+// recorded in the transfer ledger exactly as under sequential execution,
+// in completion order.
+
+// fragInput is one frontier edge of a fragment: the producing fragment,
+// the plan node it evaluates, and the consuming operation (for the ledger).
+type fragInput struct {
+	from     *fragment
+	node     algebra.Node
+	consumer string // Op() of the node consuming the shipment
+}
+
+// fragment is the unit of parallel work: a maximal same-subject subtree.
+type fragment struct {
+	subject authz.Subject
+	root    algebra.Node
+	inputs  []fragInput
+	out     chan fragResult
+}
+
+type fragResult struct {
+	table *exec.Table
+	bytes int64
+	err   error
+}
+
+// partitionFragments splits the extended plan into maximal same-subject
+// fragments, inputs before consumers (post-order over the fragment DAG).
+func partitionFragments(ext *core.ExtendedPlan) []*fragment {
+	executor := extExecutor(ext)
+	var frags []*fragment
+
+	var build func(n algebra.Node) *fragment
+	build = func(n algebra.Node) *fragment {
+		f := &fragment{
+			subject: executor(n),
+			root:    n,
+			out:     make(chan fragResult, 1),
+		}
+		var walk func(m algebra.Node)
+		walk = func(m algebra.Node) {
+			for _, c := range m.Children() {
+				if executor(c) == f.subject {
+					walk(c)
+				} else {
+					f.inputs = append(f.inputs, fragInput{
+						from: build(c), node: c, consumer: m.Op(),
+					})
+				}
+			}
+		}
+		walk(n)
+		frags = append(frags, f)
+		return f
+	}
+	build(ext.Root)
+	return frags
+}
+
+// ExecuteParallel runs the extended plan across the network with one
+// goroutine per fragment. It returns the root relation and the transfers of
+// this run; the same transfers are also appended to the network ledger. The
+// network itself is not otherwise mutated, so concurrent ExecuteParallel
+// calls on one prepared network are safe.
+func (nw *Network) ExecuteParallel(ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, []Transfer, error) {
+	frags := partitionFragments(ext)
+
+	// Resolve subject executors up front, before any worker starts, so
+	// goroutines never touch the subject map. Clones carry private UDF
+	// registries; network-wide UDFs are merged into each.
+	clones := make([]*exec.Executor, len(frags))
+	for i, f := range frags {
+		c := nw.Subject(f.subject).Clone()
+		for name, fn := range nw.UDFs {
+			c.UDFs[name] = fn
+		}
+		c.Consts = consts
+		clones[i] = c
+	}
+
+	var (
+		run   []Transfer
+		runMu sync.Mutex
+		wg    sync.WaitGroup
+	)
+	root := frags[len(frags)-1] // build appends the root fragment last
+	for i, f := range frags {
+		wg.Add(1)
+		go func(f *fragment, ex *exec.Executor) {
+			defer wg.Done()
+			for _, in := range f.inputs {
+				r := <-in.from.out
+				if r.err != nil {
+					f.out <- fragResult{err: r.err}
+					return
+				}
+				t := Transfer{
+					From: in.from.subject, To: f.subject,
+					Rows: r.table.Len(), Bytes: r.bytes,
+					Op: in.consumer,
+				}
+				nw.record(t)
+				runMu.Lock()
+				run = append(run, t)
+				runMu.Unlock()
+				ex.Materialized[in.node] = r.table
+			}
+			out, err := ex.Run(f.root)
+			if err != nil {
+				f.out <- fragResult{err: fmt.Errorf("distsim: %s at %s: %w", f.root.Op(), f.subject, err)}
+				return
+			}
+			bytes := tableBytes(out)
+			// The producer bears its outbound link latency before handing
+			// the sub-result over, so transfers on independent subtrees
+			// overlap each other and downstream computation (the root's
+			// hand-off to the dispatching user is not a simulated link).
+			if f != root {
+				if d := nw.Delay.delayFor(bytes); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			f.out <- fragResult{table: out, bytes: bytes}
+		}(f, clones[i])
+	}
+
+	res := <-root.out
+	wg.Wait()
+	if res.err != nil {
+		return nil, nil, res.err
+	}
+	return res.table, run, nil
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"testing"
+
+	"mpq/internal/tpch"
+)
+
+// The engine benchmarks compare the two axes the service adds over the
+// seed's one-shot pipeline: plan caching (cold re-plans every query, cached
+// reuses the authorized plan) and the distributed runtime (sequential
+// recursion vs parallel fragment workers). cmd/engbench runs the closed-loop
+// throughput version of these and records BENCH_engine.json.
+
+func benchEngine(b *testing.B, sequential bool, cached bool) {
+	cfg := TPCHConfig(tpch.UAPenc, testSF, testSeed)
+	cfg.PaillierBits = testPaillierBits
+	cfg.Sequential = sequential
+	if !cached {
+		cfg.CacheSize = -1
+	}
+	eng, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sqlText := querySQL(b, 6)
+	if cached {
+		if _, err := eng.Query(sqlText); err != nil { // warm the plan cache
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(sqlText); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryColdSequential(b *testing.B)   { benchEngine(b, true, false) }
+func BenchmarkQueryColdParallel(b *testing.B)     { benchEngine(b, false, false) }
+func BenchmarkQueryCachedSequential(b *testing.B) { benchEngine(b, true, true) }
+func BenchmarkQueryCachedParallel(b *testing.B)   { benchEngine(b, false, true) }
+
+// BenchmarkQueryConcurrentClients measures cached parallel throughput under
+// concurrent load (RunParallel spawns GOMAXPROCS clients).
+func BenchmarkQueryConcurrentClients(b *testing.B) {
+	cfg := TPCHConfig(tpch.UAPenc, testSF, testSeed)
+	cfg.PaillierBits = testPaillierBits
+	eng, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sqlText := querySQL(b, 6)
+	if _, err := eng.Query(sqlText); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := eng.Query(sqlText); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCache is a bounded LRU cache of authorized plans keyed by query
+// fingerprint. Every entry records the authorization-state version it was
+// prepared under; a lookup only returns an entry matching the caller's
+// current version, and policy mutations flush the cache wholesale, so a plan
+// authorized under a stale policy can never be served. A non-positive
+// capacity disables caching.
+type planCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List               // front = most recently used
+	byFP map[string]*list.Element // fingerprint → slot
+}
+
+type cacheSlot struct {
+	fp    string
+	entry *preparedQuery
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), byFP: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan for a fingerprint when it was prepared under
+// exactly the given authorization version, dropping version mismatches.
+func (c *planCache) get(fp string, version uint64) *preparedQuery {
+	if c.cap <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byFP[fp]
+	if !ok {
+		return nil
+	}
+	slot := el.Value.(*cacheSlot)
+	if slot.entry.version != version {
+		c.ll.Remove(el)
+		delete(c.byFP, fp)
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return slot.entry
+}
+
+// put inserts (or replaces) the plan for a fingerprint, evicting the least
+// recently used entry when the cache is full.
+func (c *planCache) put(fp string, e *preparedQuery) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byFP[fp]; ok {
+		el.Value.(*cacheSlot).entry = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byFP[fp] = c.ll.PushFront(&cacheSlot{fp: fp, entry: e})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byFP, last.Value.(*cacheSlot).fp)
+	}
+}
+
+// flush drops every entry.
+func (c *planCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.byFP = make(map[string]*list.Element)
+}
+
+// len reports the number of cached plans.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

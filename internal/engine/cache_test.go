@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"testing"
+
+	"mpq/internal/authz"
+	"mpq/internal/tpch"
+)
+
+// TestPlanCacheLifecycle walks the cache through its states: cold miss,
+// warm hit, invalidation on revoke, re-preparation under the new
+// authorization state, and invalidation on grant.
+func TestPlanCacheLifecycle(t *testing.T) {
+	eng, err := New(testConfig(t, tpch.UAPenc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q6 := querySQL(t, 6)
+	v0 := eng.AuthzVersion()
+
+	cold, err := eng.Query(q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit || cold.AuthzVersion != v0 {
+		t.Fatalf("cold query: hit=%v version=%d, want miss at version %d", cold.CacheHit, cold.AuthzVersion, v0)
+	}
+	if got := eng.Stats(); got.CachedPlans != 1 || got.CacheMisses != 1 {
+		t.Fatalf("after cold query: %+v", got)
+	}
+
+	warm, err := eng.Query(q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit || warm.AuthzVersion != v0 {
+		t.Fatalf("warm query: hit=%v version=%d, want hit at version %d", warm.CacheHit, warm.AuthzVersion, v0)
+	}
+	if warm.PlanTime >= cold.PlanTime {
+		t.Logf("note: warm plan time %v not below cold %v (timing noise)", warm.PlanTime, cold.PlanTime)
+	}
+
+	// Revoking the providers' default on lineitem must flush the cache and
+	// bump the version; the re-prepared plan may no longer use providers.
+	v1, revoked := eng.Revoke("lineitem", authz.Any)
+	if !revoked || v1 != v0+1 {
+		t.Fatalf("revoke: revoked=%v version=%d, want true at %d", revoked, v1, v0+1)
+	}
+	if got := eng.Stats(); got.CachedPlans != 0 || got.Invalidations != 1 {
+		t.Fatalf("after revoke: %+v", got)
+	}
+	re, err := eng.Query(q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.CacheHit || re.AuthzVersion != v1 {
+		t.Fatalf("post-revoke query: hit=%v version=%d, want miss at version %d", re.CacheHit, re.AuthzVersion, v1)
+	}
+	for _, s := range re.Executors {
+		for _, p := range tpch.Providers() {
+			if s == p {
+				t.Fatalf("post-revoke plan assigns operations to provider %s", p)
+			}
+		}
+	}
+
+	// Granting it back invalidates again.
+	rel := eng.cfg.Catalog.Relation("lineitem")
+	all := make([]string, len(rel.Columns))
+	for i, c := range rel.Columns {
+		all[i] = c.Name
+	}
+	v2, err := eng.Grant("lineitem", authz.Any, nil, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1+1 {
+		t.Fatalf("grant: version=%d, want %d", v2, v1+1)
+	}
+	if got := eng.Stats(); got.CachedPlans != 0 || got.Invalidations != 2 {
+		t.Fatalf("after grant: %+v", got)
+	}
+	back, err := eng.Query(q6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CacheHit || back.AuthzVersion != v2 {
+		t.Fatalf("post-grant query: hit=%v version=%d, want miss at version %d", back.CacheHit, back.AuthzVersion, v2)
+	}
+}
+
+// TestCacheDisabled verifies a negative cache size turns caching off.
+func TestCacheDisabled(t *testing.T) {
+	cfg := testConfig(t, tpch.UA)
+	cfg.CacheSize = -1
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q6 := querySQL(t, 6)
+	for i := 0; i < 2; i++ {
+		resp, err := eng.Query(q6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.CacheHit {
+			t.Fatalf("run %d: cache hit with caching disabled", i)
+		}
+	}
+	if got := eng.Stats(); got.CachedPlans != 0 || got.CacheMisses != 2 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+// TestFingerprintNormalization: formatting variants of one query share a
+// cache entry.
+func TestFingerprintNormalization(t *testing.T) {
+	eng, err := New(testConfig(t, tpch.UA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query("SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := eng.Query("select   l_returnflag, count(*)\nfrom lineitem\ngroup by l_returnflag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("reformatted query missed the plan cache")
+	}
+}

@@ -1,0 +1,439 @@
+// Package engine is the long-lived, concurrency-safe query service over the
+// paper's pipeline: one Engine wires sql → planner → profile → authorization
+// analysis → minimal core extension → cost-optimized assignment → key
+// distribution → distributed execution behind a single Query call, and keeps
+// serving while data authorities grant and revoke authorizations.
+//
+// Two mechanisms carry the service beyond the seed's one-shot pipeline:
+//
+//   - An authorized-plan cache keyed by query fingerprint and the policy's
+//     authorization-state version. A repeated query skips planning, analysis,
+//     extension, assignment, key generation, and constant dispatch entirely;
+//     any Grant or Revoke bumps the version and flushes the cache, so a plan
+//     authorized under a stale policy is never served. Plan admission happens
+//     under a read lock on the authorization state, so every admitted plan is
+//     consistent with the version it reports.
+//
+//   - A parallel distributed runtime (distsim.ExecuteParallel): plan
+//     fragments execute as per-subject workers exchanging sub-results over
+//     channels, so independent subtrees of the assigned plan run
+//     concurrently, and concurrent queries never share mutable executor
+//     state (each run clones the prepared network).
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpq/internal/algebra"
+	"mpq/internal/assignment"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+	"mpq/internal/cost"
+	"mpq/internal/crypto"
+	"mpq/internal/distsim"
+	"mpq/internal/exec"
+	"mpq/internal/planner"
+	"mpq/internal/sql"
+)
+
+// Config assembles an Engine: the deployment (catalog, policy, subjects,
+// price model), the data placement, and the runtime knobs.
+type Config struct {
+	// Catalog describes the base relations and their statistics.
+	Catalog *algebra.Catalog
+	// Policy is the mutable authorization state. The engine owns it after
+	// construction: mutate it only through Engine.Grant and Engine.Revoke.
+	Policy *authz.Policy
+	// User is the querying subject; it must be authorized for every base
+	// relation of each submitted query.
+	User authz.Subject
+	// Subjects are the candidate executors (user, authorities, providers).
+	Subjects []authz.Subject
+	// Model prices assignments (Section 7). Required.
+	Model *cost.Model
+	// Tables places each subject's local relations.
+	Tables map[authz.Subject]map[string]*exec.Table
+	// UDFs are network-wide user defined functions.
+	UDFs map[string]exec.UDFFunc
+	// StorageRings are pre-established at-rest encryption rings for
+	// outsourced relations, handed out instead of fresh rings.
+	StorageRings []*crypto.KeyRing
+	// PaillierBits sizes the homomorphic key pairs; 0 means
+	// crypto.DefaultPaillierBits.
+	PaillierBits int
+	// LinkDelay, when set, simulates wide-area link latency on every
+	// inter-subject transfer (see distsim.LinkDelay).
+	LinkDelay *distsim.LinkDelay
+	// CacheSize bounds the authorized-plan cache (entries). 0 means the
+	// default (256); negative disables caching.
+	CacheSize int
+	// Sequential selects the legacy sequential runtime instead of the
+	// parallel fragment workers (the benchmark baseline).
+	Sequential bool
+}
+
+const defaultCacheSize = 256
+
+// Engine is a long-lived query service; all methods are safe for concurrent
+// use.
+type Engine struct {
+	cfg     Config
+	planner *planner.Planner
+	// sys carries the capability and type configuration; each cold
+	// preparation builds a fresh System from it over a policy snapshot.
+	sys   *core.System
+	kinds exec.AttrKinds
+
+	// mu guards the authorization state: Query admits plans under RLock,
+	// Grant/Revoke mutate the policy and flush the cache under Lock.
+	mu     sync.RWMutex
+	policy *authz.Policy
+	cache  *planCache
+
+	queries       atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	errors        atomic.Uint64
+	invalidations atomic.Uint64
+	transfers     atomic.Uint64
+	bytesShipped  atomic.Uint64
+}
+
+// New validates the configuration and starts an engine.
+func New(cfg Config) (*Engine, error) {
+	switch {
+	case cfg.Catalog == nil:
+		return nil, fmt.Errorf("engine: config needs a catalog")
+	case cfg.Policy == nil:
+		return nil, fmt.Errorf("engine: config needs a policy")
+	case cfg.Model == nil:
+		return nil, fmt.Errorf("engine: config needs a cost model")
+	case cfg.User == "":
+		return nil, fmt.Errorf("engine: config needs the querying user")
+	case len(cfg.Subjects) == 0:
+		return nil, fmt.Errorf("engine: config needs candidate subjects")
+	}
+	if cfg.PaillierBits == 0 {
+		cfg.PaillierBits = crypto.DefaultPaillierBits
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = defaultCacheSize
+	}
+	sys := core.NewSystem(cfg.Policy, cfg.Subjects...)
+	sys.Types = cfg.Catalog.TypesOf()
+	return &Engine{
+		cfg:     cfg,
+		planner: planner.New(cfg.Catalog),
+		sys:     sys,
+		kinds:   exec.KindsFromCatalog(cfg.Catalog),
+		policy:  cfg.Policy,
+		cache:   newPlanCache(size),
+	}, nil
+}
+
+// preparedQuery is one cache entry: everything needed to execute a query
+// except per-run state, computed under a single authorization version.
+type preparedQuery struct {
+	version   uint64
+	plan      *planner.Plan
+	result    *assignment.Result
+	network   *distsim.Network // subjects registered, keys distributed
+	keys      *crypto.KeyStore // full rings, for user-side finalization
+	consts    exec.ConstCache
+	executors []authz.Subject // distinct assignees, sorted
+}
+
+// Response is the outcome of one query.
+type Response struct {
+	// Headers and Table are the user-facing result after decryption,
+	// ordering, projection, and limit.
+	Headers []string
+	Table   *exec.Table
+	// CacheHit reports whether the authorized plan came from the cache.
+	CacheHit bool
+	// AuthzVersion is the authorization-state version the served plan was
+	// admitted (and authorized) under.
+	AuthzVersion uint64
+	// Executors are the distinct subjects assigned operations of the
+	// extended plan, sorted.
+	Executors []authz.Subject
+	// Cost is the exact cost breakdown of the chosen assignment.
+	Cost cost.Breakdown
+	// Transfers is this run's inter-subject shipment ledger.
+	Transfers []distsim.Transfer
+	// PlanTime covers admission (fingerprint, cache lookup, and on a miss
+	// the full authorize/extend/assign/key pipeline); ExecTime covers
+	// distributed execution and user-side finalization.
+	PlanTime, ExecTime time.Duration
+}
+
+// BytesShipped totals the bytes moved between subjects during this run.
+func (r *Response) BytesShipped() int64 {
+	var total int64
+	for _, t := range r.Transfers {
+		total += t.Bytes
+	}
+	return total
+}
+
+// maxOptimisticPrepares bounds how often a cold preparation is retried
+// because the authorization state changed mid-flight before Query falls
+// back to preparing under the read lock (blocking mutations, guaranteeing
+// progress under grant/revoke churn).
+const maxOptimisticPrepares = 2
+
+// Query plans, authorizes, and executes one SQL query, reusing a cached
+// authorized plan when one exists for the current authorization state.
+func (e *Engine) Query(query string) (*Response, error) {
+	e.queries.Add(1)
+	start := time.Now()
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	fp := fingerprint(stmt)
+
+	pq, hit, err := e.admit(stmt, fp)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	if hit {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	planTime := time.Since(start)
+
+	execStart := time.Now()
+	run := pq.network.Clone()
+	var (
+		table     *exec.Table
+		transfers []distsim.Transfer
+	)
+	if e.cfg.Sequential {
+		table, err = run.Execute(pq.result.Extended, pq.consts)
+		transfers = run.Transfers
+	} else {
+		table, transfers, err = run.ExecuteParallel(pq.result.Extended, pq.consts)
+	}
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	final, headers, err := e.finalize(pq, table)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	resp := &Response{
+		Headers:      headers,
+		Table:        final,
+		CacheHit:     hit,
+		AuthzVersion: pq.version,
+		Executors:    pq.executors,
+		Cost:         pq.result.Cost,
+		Transfers:    transfers,
+		PlanTime:     planTime,
+		ExecTime:     time.Since(execStart),
+	}
+	e.transfers.Add(uint64(len(transfers)))
+	e.bytesShipped.Add(uint64(resp.BytesShipped()))
+	return resp, nil
+}
+
+// admit returns an authorized plan consistent with the current
+// authorization state: a cache hit, or a freshly prepared plan. Cold
+// preparation — optimization, extension, and Paillier key generation — is
+// expensive, so it runs against a policy snapshot without holding the
+// authorization lock; the result is admitted only if the version is
+// unchanged. After repeated churn the final attempt prepares under the
+// read lock: mutations (and, behind them, other admissions) wait for that
+// one preparation, a deliberate trade — a bounded serving stall, reachable
+// only when several policy mutations each overlap a full preparation of
+// the same query — for guaranteed progress where unbounded optimistic
+// retry could starve cold queries forever. Either way a served plan is
+// always authorized under exactly the version it reports.
+func (e *Engine) admit(stmt *sql.SelectStmt, fp string) (*preparedQuery, bool, error) {
+	for attempt := 0; ; attempt++ {
+		e.mu.RLock()
+		version := e.policy.Version()
+		if pq := e.cache.get(fp, version); pq != nil {
+			e.mu.RUnlock()
+			return pq, true, nil
+		}
+		if attempt >= maxOptimisticPrepares {
+			pq, err := e.prepare(stmt, version, e.policy)
+			if err == nil {
+				e.cache.put(fp, pq)
+			}
+			e.mu.RUnlock()
+			return pq, false, err
+		}
+		snap := e.policy.Clone()
+		e.mu.RUnlock()
+
+		pq, err := e.prepare(stmt, version, snap)
+
+		e.mu.RLock()
+		current := e.policy.Version()
+		if current == version {
+			if err == nil {
+				e.cache.put(fp, pq)
+			}
+			e.mu.RUnlock()
+			return pq, false, err
+		}
+		e.mu.RUnlock()
+		// The authorization state changed while preparing: the plan (or
+		// error) reflects a stale policy. Discard and retry.
+	}
+}
+
+// prepare runs the full paper pipeline for one parsed statement against pol
+// (a consistent snapshot of — or, under the read lock, the live —
+// authorization state at the given version).
+func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer) (*preparedQuery, error) {
+	sys := core.NewSystem(pol, e.cfg.Subjects...)
+	sys.Caps = e.sys.Caps
+	sys.Types = e.sys.Types
+	plan, err := e.planner.Plan(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if err := sys.CheckUserAccess(e.cfg.User, plan.Root); err != nil {
+		return nil, err
+	}
+	an := sys.Analyze(plan.Root, nil)
+	res, err := assignment.Optimize(sys, an, e.cfg.Model, assignment.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	nw := distsim.NewNetwork()
+	nw.Delay = e.cfg.LinkDelay
+	for name, fn := range e.cfg.UDFs {
+		nw.UDFs[name] = fn
+	}
+	for _, ring := range e.cfg.StorageRings {
+		nw.AddStorageRing(ring)
+	}
+	for s, tables := range e.cfg.Tables {
+		nw.AddSubject(s, tables)
+	}
+	full, err := nw.DistributeKeys(res.Extended, e.cfg.PaillierBits)
+	if err != nil {
+		return nil, err
+	}
+	consts, err := exec.PrepareConstants(res.Extended.Root, full, e.kinds)
+	if err != nil {
+		return nil, err
+	}
+
+	seen := make(map[authz.Subject]struct{})
+	for _, s := range res.Extended.Assign {
+		seen[s] = struct{}{}
+	}
+	executors := make([]authz.Subject, 0, len(seen))
+	for s := range seen {
+		executors = append(executors, s)
+	}
+	sort.Slice(executors, func(i, j int) bool { return executors[i] < executors[j] })
+
+	return &preparedQuery{
+		version:   version,
+		plan:      plan,
+		result:    res,
+		network:   nw,
+		keys:      full,
+		consts:    consts,
+		executors: executors,
+	}, nil
+}
+
+// finalize is the user-side completion: decrypt the root relation with the
+// query-plan keys, then apply ordering, projection, and limit.
+func (e *Engine) finalize(pq *preparedQuery, got *exec.Table) (*exec.Table, []string, error) {
+	f := exec.NewExecutor()
+	f.Keys = pq.keys
+	dec, err := f.DecryptTable(got)
+	if err != nil {
+		return nil, nil, err
+	}
+	root := pq.result.Extended.Root
+	f.Materialized = map[algebra.Node]*exec.Table{root: dec}
+	extPlan := *pq.plan
+	extPlan.Root = root
+	return f.RunPlan(&extPlan)
+}
+
+// Grant adds the authorization [plain, enc]→subject on rel, invalidating
+// every cached plan. It returns the new authorization-state version.
+func (e *Engine) Grant(rel string, subject authz.Subject, plain, enc []string) (uint64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.policy.Grant(rel, subject, plain, enc); err != nil {
+		return e.policy.Version(), err
+	}
+	e.cache.flush()
+	e.invalidations.Add(1)
+	return e.policy.Version(), nil
+}
+
+// Revoke removes subject's authorization on rel, invalidating every cached
+// plan when one was present. It returns the new authorization-state version
+// and whether an authorization was removed.
+func (e *Engine) Revoke(rel string, subject authz.Subject) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	revoked := e.policy.Revoke(rel, subject)
+	if revoked {
+		e.cache.flush()
+		e.invalidations.Add(1)
+	}
+	return e.policy.Version(), revoked
+}
+
+// AuthzVersion returns the current authorization-state version.
+func (e *Engine) AuthzVersion() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.policy.Version()
+}
+
+// FlushCache drops every cached plan (authorization state is unchanged).
+func (e *Engine) FlushCache() { e.cache.flush() }
+
+// Stats is a snapshot of the engine counters.
+type Stats struct {
+	Queries       uint64 `json:"queries"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	Errors        uint64 `json:"errors"`
+	Invalidations uint64 `json:"invalidations"`
+	Transfers     uint64 `json:"transfers"`
+	BytesShipped  uint64 `json:"bytes_shipped"`
+	CachedPlans   int    `json:"cached_plans"`
+	AuthzVersion  uint64 `json:"authz_version"`
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:       e.queries.Load(),
+		CacheHits:     e.hits.Load(),
+		CacheMisses:   e.misses.Load(),
+		Errors:        e.errors.Load(),
+		Invalidations: e.invalidations.Load(),
+		Transfers:     e.transfers.Load(),
+		BytesShipped:  e.bytesShipped.Load(),
+		CachedPlans:   e.cache.len(),
+		AuthzVersion:  e.AuthzVersion(),
+	}
+}

@@ -1,0 +1,16 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"mpq/internal/sql"
+)
+
+// fingerprint canonicalizes a parsed statement and hashes it, so queries
+// differing only in whitespace, casing of keywords, or formatting share one
+// cache entry. The canonical form is the parser round-trip rendering.
+func fingerprint(stmt *sql.SelectStmt) string {
+	sum := sha256.Sum256([]byte(stmt.String()))
+	return hex.EncodeToString(sum[:])
+}

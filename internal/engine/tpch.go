@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"mpq/internal/authz"
+	"mpq/internal/exec"
+	"mpq/internal/tpch"
+)
+
+// TPCHConfig assembles an engine configuration over the Section 7 TPC-H
+// harness: the catalog at scale factor sf, the authorization policy of the
+// scenario, tables generated from seed and hosted by their data
+// authorities, and the paper's price/network model. Tweak the returned
+// config (cache size, runtime, Paillier bits) before passing it to New.
+func TPCHConfig(sc tpch.Scenario, sf float64, seed int64) Config {
+	cat := tpch.Catalog(sf)
+	tables := make(map[authz.Subject]map[string]*exec.Table)
+	for name, t := range tpch.Generate(sf, seed) {
+		auth := authz.Subject(cat.Relation(name).Authority)
+		if tables[auth] == nil {
+			tables[auth] = make(map[string]*exec.Table)
+		}
+		tables[auth][name] = t
+	}
+	return Config{
+		Catalog:  cat,
+		Policy:   tpch.Policy(cat, sc),
+		User:     tpch.User,
+		Subjects: tpch.Subjects(),
+		Model:    tpch.Model(),
+		Tables:   tables,
+	}
+}

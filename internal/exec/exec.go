@@ -46,6 +46,27 @@ func NewExecutor() *Executor {
 	}
 }
 
+// Clone returns an executor sharing the receiver's durable state — tables
+// and key material, which Run never mutates — with fresh per-execution
+// state (dispatched constants, materialized sub-results) and a private copy
+// of the UDF registry (the distributed simulator merges network-wide UDFs
+// into it per run). Concurrent plan executions each run on their own clone
+// of a subject's long-lived executor, so evaluation never races on shared
+// maps.
+func (e *Executor) Clone() *Executor {
+	udfs := make(map[string]UDFFunc, len(e.UDFs))
+	for name, fn := range e.UDFs {
+		udfs[name] = fn
+	}
+	return &Executor{
+		Tables:       e.Tables,
+		Keys:         e.Keys,
+		UDFs:         udfs,
+		Consts:       make(ConstCache),
+		Materialized: make(map[algebra.Node]*Table),
+	}
+}
+
 // Run evaluates the plan rooted at n and returns the produced relation.
 func (e *Executor) Run(n algebra.Node) (*Table, error) {
 	if t, ok := e.Materialized[n]; ok {
