@@ -1,12 +1,14 @@
 // Command engbench measures closed-loop engine throughput: N client
 // goroutines issue TPC-H queries back-to-back against one engine, and the
 // harness reports queries/sec and mean latency per configuration — the
-// sequential vs parallel distributed runtime, with cold (cache disabled,
-// every query re-runs the full authorize/extend/assign/key pipeline) vs
-// cached (authorized plans reused) planning. Results are written as JSON
-// (BENCH_engine.json in the repo records a baseline).
+// batch-streaming pipeline vs the legacy materializing interior, with cold
+// (cache disabled, every query re-runs the full authorize/extend/assign/key
+// pipeline) vs cached (authorized plans reused) planning. With -stream it
+// additionally drives Engine.QueryStream and reports mean time-to-first-row
+// next to full latency. Results are written as JSON (BENCH_engine.json in
+// the repo records the measured comparison).
 //
-//	engbench -sf 0.001 -duration 3s -clients 1,2,4,8 -out BENCH_engine.json
+//	engbench -sf 0.001 -duration 3s -clients 1,2,4,8 -stream -out BENCH_engine.json
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 
 	"mpq/internal/distsim"
 	"mpq/internal/engine"
+	"mpq/internal/exec"
 	"mpq/internal/tpch"
 )
 
@@ -34,6 +37,8 @@ type cell struct {
 	Seconds float64 `json:"seconds"`
 	QPS     float64 `json:"qps"`
 	MeanMs  float64 `json:"mean_ms"`
+	// TTFRMs is the mean time-to-first-row (streaming configurations only).
+	TTFRMs float64 `json:"ttfr_ms,omitempty"`
 }
 
 type report struct {
@@ -42,6 +47,7 @@ type report struct {
 	Seed         int64   `json:"seed"`
 	PaillierBits int     `json:"paillier_bits"`
 	Queries      []int   `json:"queries"`
+	BatchSize    int     `json:"batch_size"`
 	DurationSec  float64 `json:"duration_per_cell_sec"`
 	// RTTMs and LinkMBps describe the simulated wide-area links between
 	// subjects; CPUs and GOMAXPROCS record the host parallelism. Fragment
@@ -63,6 +69,8 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		clients  = flag.String("clients", "1,2,4,8", "comma-separated client counts")
 		queryStr = flag.String("queries", "3,6,10", "comma-separated TPC-H query numbers")
+		batch    = flag.Int("batch", 0, "pipeline batch size in rows (0 = default)")
+		stream   = flag.Bool("stream", false, "also measure Engine.QueryStream (time-to-first-row)")
 		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
 		mbps     = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
 		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
@@ -97,6 +105,7 @@ func main() {
 		Seed:         *seed,
 		PaillierBits: *paillier,
 		Queries:      queryNums,
+		BatchSize:    *batch,
 		DurationSec:  duration.Seconds(),
 		RTTMs:        float64(rtt.Milliseconds()),
 		LinkMBps:     *mbps,
@@ -109,18 +118,24 @@ func main() {
 	}
 
 	configs := []struct {
-		name       string
-		sequential bool
-		cached     bool
+		name          string
+		materializing bool
+		cached        bool
+		stream        bool
 	}{
-		{"sequential-cold", true, false},
-		{"parallel-cold", false, false},
-		{"sequential-cached", true, true},
-		{"parallel-cached", false, true},
+		{"materializing-cold", true, false, false},
+		{"batch-cold", false, false, false},
+		{"materializing-cached", true, true, false},
+		{"batch-cached", false, true, false},
+		{"batch-stream-cached", false, true, true},
 	}
 	for _, c := range configs {
+		if c.stream && !*stream {
+			continue
+		}
 		cfg := engine.TPCHConfig(tpch.Scenario(*scenario), *sf, *seed)
-		cfg.Sequential = c.sequential
+		cfg.Materializing = c.materializing
+		cfg.BatchSize = *batch
 		cfg.PaillierBits = *paillier
 		cfg.LinkDelay = delay
 		if !c.cached {
@@ -138,10 +153,14 @@ func main() {
 			}
 		}
 		for _, n := range clientCounts {
-			res := run(eng, sqls, n, *duration)
+			res := run(eng, sqls, n, *duration, c.stream)
 			res.Config = c.name
 			rep.Results = append(rep.Results, res)
-			log.Printf("%-18s clients=%d  %7.2f q/s  %8.2f ms/query", c.name, n, res.QPS, res.MeanMs)
+			extra := ""
+			if c.stream {
+				extra = fmt.Sprintf("  %8.2f ms-to-first-row", res.TTFRMs)
+			}
+			log.Printf("%-20s clients=%d  %7.2f q/s  %8.2f ms/query%s", c.name, n, res.QPS, res.MeanMs, extra)
 		}
 	}
 
@@ -161,18 +180,29 @@ func main() {
 }
 
 // run drives the closed loop: clients goroutines issue the query mix
-// round-robin until the window elapses.
-func run(eng *engine.Engine, sqls []string, clients int, window time.Duration) cell {
+// round-robin until the window elapses. With stream set, clients use
+// QueryStream (discarding the rows) and the cell also reports the mean
+// time-to-first-row.
+func run(eng *engine.Engine, sqls []string, clients int, window time.Duration, stream bool) cell {
 	var done atomic.Bool
 	var completed atomic.Uint64
+	var ttfrNanos atomic.Uint64
 	var wg sync.WaitGroup
+	discard := func([]string, [][]exec.Value) error { return nil }
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(offset int) {
 			defer wg.Done()
 			for i := offset; !done.Load(); i++ {
-				if _, err := eng.Query(sqls[i%len(sqls)]); err != nil {
+				q := sqls[i%len(sqls)]
+				if stream {
+					resp, err := eng.QueryStream(q, discard)
+					if err != nil {
+						log.Fatalf("engbench: query: %v", err)
+					}
+					ttfrNanos.Add(uint64(resp.TimeToFirstRow.Nanoseconds()))
+				} else if _, err := eng.Query(q); err != nil {
 					log.Fatalf("engbench: query: %v", err)
 				}
 				completed.Add(1)
@@ -190,6 +220,9 @@ func run(eng *engine.Engine, sqls []string, clients int, window time.Duration) c
 	}
 	if n > 0 {
 		res.MeanMs = elapsed * 1000 * float64(clients) / float64(n)
+		if stream {
+			res.TTFRMs = float64(ttfrNanos.Load()) / 1e6 / float64(n)
+		}
 	}
 	return res
 }

@@ -6,9 +6,12 @@
 //
 // Endpoints:
 //
-//	POST /query   {"sql": "select ..."}
-//	POST /grant   {"relation": "lineitem", "subject": "X", "plain": [...], "enc": [...]}
-//	POST /revoke  {"relation": "lineitem", "subject": "X"}
+//	POST /query         {"sql": "select ..."}
+//	POST /query/stream  {"sql": "select ..."} — chunked NDJSON: a headers
+//	                    line, one rows line per result batch as the batch
+//	                    pipeline produces it, and a final stats line
+//	POST /grant         {"relation": "lineitem", "subject": "X", "plain": [...], "enc": [...]}
+//	POST /revoke        {"relation": "lineitem", "subject": "X"}
 //	GET  /stats
 //	GET  /healthz
 package main
@@ -26,6 +29,7 @@ import (
 	"mpq/internal/crypto"
 	"mpq/internal/distsim"
 	"mpq/internal/engine"
+	"mpq/internal/exec"
 	"mpq/internal/tpch"
 )
 
@@ -38,6 +42,8 @@ func main() {
 		sf         = flag.Float64("sf", 0.01, "TPC-H scale factor")
 		seed       = flag.Int64("seed", 1, "data generator seed")
 		sequential = flag.Bool("sequential", false, "use the sequential distributed runtime")
+		mat        = flag.Bool("materializing", false, "use the legacy whole-relation interior instead of the batch pipeline")
+		batchSize  = flag.Int("batch", 0, "pipeline batch size in rows (0 = default)")
 		cacheSize  = flag.Int("cache", 0, "authorized-plan cache entries (0 = default, negative disables)")
 		paillier   = flag.Int("paillier-bits", crypto.DefaultPaillierBits, "Paillier prime size in bits")
 		rtt        = flag.Duration("rtt", 0, "simulated inter-subject link RTT (0 disables)")
@@ -56,6 +62,8 @@ func main() {
 	log.Printf("mpqd: generating TPC-H data (sf=%g seed=%d scenario=%s)", *sf, *seed, sc)
 	cfg := engine.TPCHConfig(sc, *sf, *seed)
 	cfg.Sequential = *sequential
+	cfg.Materializing = *mat
+	cfg.BatchSize = *batchSize
 	cfg.CacheSize = *cacheSize
 	cfg.PaillierBits = *paillier
 	if *rtt > 0 {
@@ -69,6 +77,7 @@ func main() {
 	s := &server{eng: eng}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /query/stream", s.handleQueryStream)
 	mux.HandleFunc("POST /grant", s.handleGrant)
 	mux.HandleFunc("POST /revoke", s.handleRevoke)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -147,6 +156,85 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PlanMs:       float64(resp.PlanTime.Microseconds()) / 1e3,
 		ExecMs:       float64(resp.ExecTime.Microseconds()) / 1e3,
 	})
+}
+
+// streamStats is the trailing NDJSON line of a streamed query.
+type streamStats struct {
+	Rows         int     `json:"rows"`
+	CacheHit     bool    `json:"cache_hit"`
+	AuthzVersion uint64  `json:"authz_version"`
+	Transfers    int     `json:"transfers"`
+	BytesShipped int64   `json:"bytes_shipped"`
+	PlanMs       float64 `json:"plan_ms"`
+	ExecMs       float64 `json:"exec_ms"`
+	TTFRMs       float64 `json:"ttfr_ms"`
+}
+
+// handleQueryStream serves a query as chunked NDJSON, flushing each result
+// batch as the streaming runtime produces it: time-to-first-row for the
+// client is decoupled from total execution time.
+func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	started := false
+	line := func(v any) error {
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	resp, err := s.eng.QueryStream(req.SQL, func(headers []string, rows [][]exec.Value) error {
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			started = true
+			if err := line(map[string]any{"headers": headers}); err != nil {
+				return err
+			}
+		}
+		out := make([][]string, len(rows))
+		for i, row := range rows {
+			cells := make([]string, len(row))
+			for j, v := range row {
+				cells[j] = v.String()
+			}
+			out[i] = cells
+		}
+		return line(map[string]any{"rows": out})
+	})
+	if err != nil {
+		if !started {
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		line(map[string]string{"error": err.Error()})
+		return
+	}
+	if !started {
+		// No rows: still deliver the header line before the stats.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		line(map[string]any{"headers": resp.Headers})
+	}
+	line(map[string]any{"stats": streamStats{
+		Rows:         resp.Rows,
+		CacheHit:     resp.CacheHit,
+		AuthzVersion: resp.AuthzVersion,
+		Transfers:    len(resp.Transfers),
+		BytesShipped: resp.BytesShipped(),
+		PlanMs:       float64(resp.PlanTime.Microseconds()) / 1e3,
+		ExecMs:       float64(resp.ExecTime.Microseconds()) / 1e3,
+		TTFRMs:       float64(resp.TimeToFirstRow.Microseconds()) / 1e3,
+	}})
 }
 
 type grantRequest struct {

@@ -148,14 +148,14 @@ func loadData(e *exec.Executor) {
 	})
 	for i := 0; i < 200; i++ {
 		pid := fmt.Sprintf("P%04d", i)
-		patients.Append([]exec.Value{
+		mustAppend(patients, []exec.Value{
 			exec.String(pid),
 			exec.Int(int64(20 + rnd.Intn(70))),
 			exec.String(diagnoses[rnd.Intn(len(diagnoses))]),
 		})
-		genomes.Append([]exec.Value{exec.String(pid), exec.Float(rnd.Float64())})
+		mustAppend(genomes, []exec.Value{exec.String(pid), exec.Float(rnd.Float64())})
 		for j := 0; j < 1+rnd.Intn(3); j++ {
-			disp.Append([]exec.Value{
+			mustAppend(disp, []exec.Value{
 				exec.String(pid),
 				exec.String(drugs[rnd.Intn(len(drugs))]),
 				exec.Float(float64(1 + rnd.Intn(5))),
@@ -165,4 +165,12 @@ func loadData(e *exec.Executor) {
 	e.Tables["Patients"] = patients
 	e.Tables["Genomes"] = genomes
 	e.Tables["Dispensations"] = disp
+}
+
+// mustAppend adds a row, panicking on a width mismatch (a programming error
+// in the example's static data).
+func mustAppend(t *exec.Table, row []exec.Value) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
 }

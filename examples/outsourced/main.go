@@ -138,7 +138,7 @@ func buildHosp() *exec.Table {
 		{"555", "asthma", "inhaler"},
 		{"666", "stroke", "medication"},
 	} {
-		t.Append([]exec.Value{exec.String(r.s), exec.String(r.d), exec.String(r.g)})
+		mustAppend(t, []exec.Value{exec.String(r.s), exec.String(r.d), exec.String(r.g)})
 	}
 	return t
 }
@@ -151,7 +151,7 @@ func buildIns() *exec.Table {
 	}{
 		{"111", 180}, {"222", 95}, {"333", 120}, {"444", 260}, {"555", 75}, {"666", 140},
 	} {
-		t.Append([]exec.Value{exec.String(r.c), exec.Float(r.p)})
+		mustAppend(t, []exec.Value{exec.String(r.c), exec.Float(r.p)})
 	}
 	return t
 }
@@ -174,4 +174,12 @@ func encryptAtRest(t *exec.Table, ring *crypto.KeyRing, cols map[string]bool) (*
 		out.Rows = append(out.Rows, nr)
 	}
 	return out, nil
+}
+
+// mustAppend adds a row, panicking on a width mismatch (a programming error
+// in the example's static data).
+func mustAppend(t *exec.Table, row []exec.Value) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
 }

@@ -152,7 +152,7 @@ func loadToyData(e *exec.Executor) {
 		{"567-89-0123", 13149, "stroke", "medication"},
 		{"678-90-1234", 10592, "asthma", "inhaler"},
 	} {
-		hosp.Append([]exec.Value{exec.String(r.s), exec.Int(r.b), exec.String(r.d), exec.String(r.t)})
+		mustAppend(hosp, []exec.Value{exec.String(r.s), exec.Int(r.b), exec.String(r.d), exec.String(r.t)})
 	}
 	e.Tables["Hosp"] = hosp
 
@@ -165,7 +165,15 @@ func loadToyData(e *exec.Executor) {
 		{"456-78-9012", 260}, {"567-89-0123", 135}, {"678-90-1234", 75},
 		{"789-01-2345", 300},
 	} {
-		ins.Append([]exec.Value{exec.String(r.c), exec.Float(r.p)})
+		mustAppend(ins, []exec.Value{exec.String(r.c), exec.Float(r.p)})
 	}
 	e.Tables["Ins"] = ins
+}
+
+// mustAppend adds a row, panicking on a width mismatch (a programming error
+// in the example's static data).
+func mustAppend(t *exec.Table, row []exec.Value) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
 }

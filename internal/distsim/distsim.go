@@ -42,11 +42,15 @@ func (d *LinkDelay) delayFor(bytes int64) time.Duration {
 	return dur
 }
 
-// Transfer records one inter-subject shipment of an intermediate relation.
+// Transfer records one inter-subject shipment of an intermediate relation:
+// one ledger entry per cross-subject plan edge, whether the relation moved
+// in one piece (sequential and materializing runtimes) or as a stream of
+// row batches (Batches > 1) whose bytes were accounted per batch.
 type Transfer struct {
 	From, To authz.Subject
 	Rows     int
 	Bytes    int64
+	Batches  int    // batches the shipment was split into (0 or 1 = whole)
 	Op       string // the operation consuming the shipment
 }
 
@@ -62,6 +66,13 @@ type Network struct {
 	preRings map[string]*crypto.KeyRing
 	// Delay, when set, simulates link latency on every transfer.
 	Delay *LinkDelay
+	// BatchSize is the pipeline batch size handed to subject executors and
+	// the streaming exchanges (0 means exec.DefaultBatchSize).
+	BatchSize int
+	// Materializing selects the legacy whole-relation runtime: subject
+	// executors evaluate row at a time and ExecuteParallel ships complete
+	// sub-results. Kept as the equivalence oracle and benchmark baseline.
+	Materializing bool
 	// Transfers is the ledger of inter-subject shipments, in completion
 	// order. ledgerMu guards appends from concurrent fragment workers;
 	// reading the ledger is safe once execution has completed.
@@ -117,13 +128,18 @@ func (nw *Network) Clone() *Network {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	c := &Network{
-		subjects: make(map[authz.Subject]*exec.Executor, len(nw.subjects)),
-		UDFs:     nw.UDFs,
-		preRings: nw.preRings,
-		Delay:    nw.Delay,
+		subjects:      make(map[authz.Subject]*exec.Executor, len(nw.subjects)),
+		UDFs:          nw.UDFs,
+		preRings:      nw.preRings,
+		Delay:         nw.Delay,
+		BatchSize:     nw.BatchSize,
+		Materializing: nw.Materializing,
 	}
 	for s, e := range nw.subjects {
-		c.subjects[s] = e.Clone()
+		ce := e.Clone()
+		ce.BatchSize = nw.BatchSize
+		ce.Materializing = nw.Materializing
+		c.subjects[s] = ce
 	}
 	return c
 }
@@ -193,6 +209,8 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 		subj := executor(n)
 		ex := nw.Subject(subj)
 		ex.Consts = consts
+		ex.BatchSize = nw.BatchSize
+		ex.Materializing = nw.Materializing
 		for name, fn := range nw.UDFs {
 			ex.UDFs[name] = fn
 		}
@@ -250,9 +268,13 @@ func (nw *Network) BytesBetween(from, to authz.Subject) int64 {
 
 // tableBytes measures the encoded size of a relation: fixed-width scalars,
 // string lengths, ciphertext lengths, Paillier group element sizes.
-func tableBytes(t *exec.Table) int64 {
+func tableBytes(t *exec.Table) int64 { return rowsBytes(t.Rows) }
+
+// rowsBytes measures the encoded size of a batch of rows (the streaming
+// runtime accounts every shipped batch with it).
+func rowsBytes(rows [][]exec.Value) int64 {
 	var total int64
-	for _, row := range t.Rows {
+	for _, row := range rows {
 		for _, v := range row {
 			total += valueBytes(v)
 		}

@@ -83,7 +83,29 @@ func partitionFragments(ext *core.ExtendedPlan) []*fragment {
 // this run; the same transfers are also appended to the network ledger. The
 // network itself is not otherwise mutated, so concurrent ExecuteParallel
 // calls on one prepared network are safe.
+//
+// By default fragments exchange row batches over channels as they are
+// produced (ExecuteStream); with Materializing set, each fragment ships its
+// complete sub-result in one piece — the legacy runtime, kept as the
+// equivalence oracle and benchmark baseline.
 func (nw *Network) ExecuteParallel(ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, []Transfer, error) {
+	if nw.Materializing {
+		return nw.executeParallelMaterializing(ext, consts)
+	}
+	var rows [][]exec.Value
+	schema, transfers, err := nw.ExecuteStream(ext, consts, func(b [][]exec.Value) error {
+		rows = append(rows, b...)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	t := exec.NewTable(schema)
+	t.Rows = rows
+	return t, transfers, nil
+}
+
+func (nw *Network) executeParallelMaterializing(ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, []Transfer, error) {
 	frags := partitionFragments(ext)
 
 	// Resolve subject executors up front, before any worker starts, so
@@ -96,6 +118,8 @@ func (nw *Network) ExecuteParallel(ext *core.ExtendedPlan, consts exec.ConstCach
 			c.UDFs[name] = fn
 		}
 		c.Consts = consts
+		c.Materializing = true
+		c.BatchSize = nw.BatchSize
 		clones[i] = c
 	}
 

@@ -1,0 +1,209 @@
+package distsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mpq/internal/algebra"
+	"mpq/internal/authz"
+	"mpq/internal/core"
+	"mpq/internal/exec"
+	"mpq/internal/exec/pipeline"
+)
+
+// The streaming runtime replaces the materializing fragment workers with a
+// fully pipelined exchange: each fragment compiles its subtree into a batch
+// operator stream whose frontier inputs are channel-fed pipeline sources,
+// and ships every produced batch to its consumer as soon as it exists. A
+// provider can therefore start probing a join while the other side's scan
+// is still running, and wide-area transfer latency overlaps upstream
+// computation batch by batch (RTT is paid once per edge, serialization per
+// batch). The ledger still carries exactly one Transfer per cross-subject
+// plan edge — the multiset distributed accounting tests check — with the
+// per-batch bytes summed and the batch count recorded.
+
+// streamBuffer is the per-edge channel depth: enough batches in flight to
+// overlap transfer and computation without unbounded buffering.
+const streamBuffer = 4
+
+// errStreamAborted stops a producer's pump when the run's done channel
+// closed while it was blocked handing a batch over.
+var errStreamAborted = fmt.Errorf("distsim: stream aborted")
+
+// streamEdge is the consumer-side description of one cross-fragment edge.
+type streamEdge struct {
+	to authz.Subject // consuming fragment's subject
+	op string        // Op() of the consuming operation, for the ledger
+}
+
+// ExecuteStream runs the extended plan across the network with one worker
+// goroutine per fragment, exchanging row batches over channels. Every batch
+// of the root fragment's output is handed to sink in production order; the
+// returned schema describes those rows. The transfers of this run (one per
+// cross-subject edge, bytes accounted per batch) are returned and appended
+// to the network ledger. The network is not otherwise mutated, so
+// concurrent ExecuteStream calls on one prepared network are safe.
+func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache, sink func(rows [][]exec.Value) error) ([]algebra.Attr, []Transfer, error) {
+	frags := partitionFragments(ext)
+	root := frags[len(frags)-1] // build appends the root fragment last
+
+	idx := make(map[*fragment]int, len(frags))
+	for i, f := range frags {
+		idx[f] = i
+	}
+	// Each non-root fragment feeds exactly one consumer (the plan is a
+	// tree); edges[i] describes the edge leaving fragment i.
+	edges := make([]streamEdge, len(frags))
+	outCh := make([]chan pipeline.Msg, len(frags))
+	for i := range frags {
+		outCh[i] = make(chan pipeline.Msg, streamBuffer)
+	}
+	for _, f := range frags {
+		for _, in := range f.inputs {
+			edges[idx[in.from]] = streamEdge{to: f.subject, op: in.consumer}
+		}
+	}
+
+	// Resolve subject executors up front, before any worker starts, so
+	// goroutines never touch the subject map.
+	clones := make([]*exec.Executor, len(frags))
+	for i, f := range frags {
+		c := nw.Subject(f.subject).Clone()
+		for name, fn := range nw.UDFs {
+			c.UDFs[name] = fn
+		}
+		c.Consts = consts
+		c.Materializing = false
+		c.BatchSize = nw.BatchSize
+		c.Sources = make(map[algebra.Node]exec.Operator, len(f.inputs))
+		clones[i] = c
+	}
+
+	var (
+		run        []Transfer
+		runMu      sync.Mutex
+		wg         sync.WaitGroup
+		errMu      sync.Mutex
+		firstErr   error
+		rootSchema []algebra.Attr
+	)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	abort := func() { closeOnce.Do(func() { close(done) }) }
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		abort()
+	}
+
+	for i, f := range frags {
+		wg.Add(1)
+		go func(i int, f *fragment, ex *exec.Executor) {
+			defer wg.Done()
+			defer close(outCh[i])
+			isRoot := f == root
+
+			wrap := func(err error) error {
+				return fmt.Errorf("distsim: %s at %s: %w", f.root.Op(), f.subject, err)
+			}
+			emitErr := func(err error) {
+				fail(err)
+				if !isRoot {
+					select {
+					case outCh[i] <- pipeline.Msg{Err: err}:
+					case <-done:
+					}
+				}
+			}
+
+			for _, in := range f.inputs {
+				ex.Sources[in.node] = pipeline.NewSource(in.node.Schema(), outCh[idx[in.from]], done)
+			}
+			op, err := ex.Build(f.root)
+			if err != nil {
+				emitErr(wrap(err))
+				return
+			}
+			if isRoot {
+				rootSchema = op.Schema()
+			}
+
+			var rows, batches int
+			var bytes int64
+			first := true
+			var sinkErr error
+			aborted := false
+			pumpErr := pipeline.Pump(op, func(b *exec.Batch) error {
+				rows += len(b.Rows)
+				batches++
+				if isRoot {
+					// The root's hand-off to the dispatching user is not a
+					// simulated link and is not in the ledger.
+					if err := sink(b.Rows); err != nil {
+						sinkErr = err
+						return err
+					}
+					return nil
+				}
+				bb := rowsBytes(b.Rows)
+				bytes += bb
+				// The producer bears the outbound link latency of each
+				// batch before handing it over: RTT once per edge, then
+				// serialization time per batch, overlapping downstream
+				// computation.
+				if d := nw.Delay; d != nil {
+					var dur time.Duration
+					if d.BytesPerSec > 0 {
+						dur = time.Duration(float64(bb) / d.BytesPerSec * float64(time.Second))
+					}
+					if first {
+						dur += d.RTT
+					}
+					if dur > 0 {
+						time.Sleep(dur)
+					}
+				}
+				first = false
+				select {
+				case outCh[i] <- pipeline.Msg{Batch: b}:
+					return nil
+				case <-done:
+					aborted = true
+					return errStreamAborted
+				}
+			})
+			if pumpErr != nil {
+				switch {
+				case aborted:
+					// The run is already failing; the origin reported it.
+				case sinkErr != nil:
+					fail(sinkErr)
+				default:
+					emitErr(wrap(pumpErr))
+				}
+				return
+			}
+			if !isRoot {
+				t := Transfer{
+					From: f.subject, To: edges[i].to,
+					Rows: rows, Bytes: bytes, Batches: batches,
+					Op: edges[i].op,
+				}
+				nw.record(t)
+				runMu.Lock()
+				run = append(run, t)
+				runMu.Unlock()
+			}
+		}(i, f, clones[i])
+	}
+
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return rootSchema, run, nil
+}

@@ -74,6 +74,13 @@ type Config struct {
 	// Sequential selects the legacy sequential runtime instead of the
 	// parallel fragment workers (the benchmark baseline).
 	Sequential bool
+	// BatchSize is the number of rows per pipeline batch exchanged between
+	// operators and fragment workers (0 means exec.DefaultBatchSize).
+	BatchSize int
+	// Materializing selects the legacy whole-relation interior — row-at-a-
+	// time operators and complete sub-result shipments — instead of the
+	// batch pipeline: the equivalence oracle and benchmark baseline.
+	Materializing bool
 }
 
 const defaultCacheSize = 256
@@ -170,6 +177,13 @@ type Response struct {
 	// the full authorize/extend/assign/key pipeline); ExecTime covers
 	// distributed execution and user-side finalization.
 	PlanTime, ExecTime time.Duration
+	// TimeToFirstRow is the time from execution start until the first
+	// result batch reached the caller. Only QueryStream sets it (zero for
+	// queries that produced no rows).
+	TimeToFirstRow time.Duration
+	// Rows counts the result rows delivered (Table.Len() for Query, rows
+	// streamed to the callback for QueryStream).
+	Rows int
 }
 
 // BytesShipped totals the bytes moved between subjects during this run.
@@ -242,6 +256,7 @@ func (e *Engine) Query(query string) (*Response, error) {
 		Transfers:    transfers,
 		PlanTime:     planTime,
 		ExecTime:     time.Since(execStart),
+		Rows:         final.Len(),
 	}
 	e.transfers.Add(uint64(len(transfers)))
 	e.bytesShipped.Add(uint64(resp.BytesShipped()))
@@ -318,6 +333,8 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 
 	nw := distsim.NewNetwork()
 	nw.Delay = e.cfg.LinkDelay
+	nw.BatchSize = e.cfg.BatchSize
+	nw.Materializing = e.cfg.Materializing
 	for name, fn := range e.cfg.UDFs {
 		nw.UDFs[name] = fn
 	}

@@ -1,0 +1,181 @@
+package engine
+
+import (
+	"time"
+
+	"mpq/internal/exec"
+	"mpq/internal/exec/pipeline"
+	"mpq/internal/sql"
+)
+
+// QueryStream plans, authorizes, and executes one SQL query like Query, but
+// delivers the finalized result incrementally: yield is called with the
+// output headers and successive batches of fully decrypted, projected
+// output rows as the root fragment produces them, so a caller can start
+// consuming the answer while providers are still computing. The
+// returned Response carries the run's metadata — its Table is nil and
+// TimeToFirstRow records when the first batch reached yield.
+//
+// Queries with an ORDER BY cannot stream past the sort: their rows are
+// drained, sorted, and then replayed to yield in batches, so the first row
+// arrives only after execution completes. The same holds under the
+// Sequential and Materializing runtimes, which have no streaming interior.
+// A yield error aborts the run and is returned.
+func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][]exec.Value) error) (*Response, error) {
+	e.queries.Add(1)
+	start := time.Now()
+	pq, hit, err := e.admitSQL(query)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	if hit {
+		e.hits.Add(1)
+	} else {
+		e.misses.Add(1)
+	}
+	planTime := time.Since(start)
+
+	batch := e.cfg.BatchSize
+	if batch <= 0 {
+		batch = exec.DefaultBatchSize
+	}
+	resp := &Response{
+		CacheHit:     hit,
+		AuthzVersion: pq.version,
+		Executors:    pq.executors,
+		Cost:         pq.result.Cost,
+		PlanTime:     planTime,
+	}
+	for _, oc := range pq.plan.Output {
+		resp.Headers = append(resp.Headers, oc.Name)
+	}
+
+	execStart := time.Now()
+	emit := func(rows [][]exec.Value) error {
+		if len(rows) == 0 {
+			return nil
+		}
+		if resp.TimeToFirstRow == 0 {
+			resp.TimeToFirstRow = time.Since(execStart)
+		}
+		resp.Rows += len(rows)
+		return yield(resp.Headers, rows)
+	}
+
+	run := pq.network.Clone()
+	if e.cfg.Sequential || e.cfg.Materializing {
+		// No streaming interior: execute, finalize, replay in batches.
+		var table *exec.Table
+		if e.cfg.Sequential {
+			table, err = run.Execute(pq.result.Extended, pq.consts)
+			resp.Transfers = run.Transfers
+		} else {
+			table, resp.Transfers, err = run.ExecuteParallel(pq.result.Extended, pq.consts)
+		}
+		if err == nil {
+			table, _, err = e.finalize(pq, table)
+		}
+		if err != nil {
+			e.errors.Add(1)
+			return nil, err
+		}
+		for pos := 0; pos < len(table.Rows); pos += batch {
+			end := min(pos+batch, len(table.Rows))
+			if err := emit(table.Rows[pos:end]); err != nil {
+				e.errors.Add(1)
+				return nil, err
+			}
+		}
+		return e.sealStream(resp, execStart), nil
+	}
+
+	fin := exec.NewExecutor()
+	fin.Keys = pq.keys
+	indices := make([]int, len(pq.plan.Output))
+	for i, oc := range pq.plan.Output {
+		indices[i] = oc.Index
+	}
+	limit := pq.plan.Limit
+	streaming := len(pq.plan.OrderBy) == 0
+
+	var drained [][]exec.Value // only when a sort blocks streaming
+	emitted := 0
+	sink := func(rows [][]exec.Value) error {
+		dec, err := pipeline.DecryptRows(fin, rows)
+		if err != nil {
+			return err
+		}
+		if !streaming {
+			drained = append(drained, dec...)
+			return nil
+		}
+		if limit >= 0 && emitted >= limit {
+			return nil // drain the remainder without emitting
+		}
+		out := make([][]exec.Value, 0, len(dec))
+		for _, row := range dec {
+			if limit >= 0 && emitted+len(out) >= limit {
+				break
+			}
+			pr := make([]exec.Value, len(indices))
+			for j, ix := range indices {
+				pr[j] = row[ix]
+			}
+			out = append(out, pr)
+		}
+		emitted += len(out)
+		return emit(out)
+	}
+
+	schema, transfers, err := run.ExecuteStream(pq.result.Extended, pq.consts, sink)
+	if err != nil {
+		e.errors.Add(1)
+		return nil, err
+	}
+	resp.Transfers = transfers
+
+	if !streaming {
+		t := exec.NewTable(schema)
+		t.Rows = drained
+		specs := make([]exec.SortSpec, len(pq.plan.OrderBy))
+		for i, o := range pq.plan.OrderBy {
+			specs[i] = exec.SortSpec{Index: o.Index, Desc: o.Desc}
+		}
+		if err := t.SortBy(specs); err != nil {
+			e.errors.Add(1)
+			return nil, err
+		}
+		out := t.Project(indices)
+		if limit >= 0 && len(out.Rows) > limit {
+			out.Rows = out.Rows[:limit]
+		}
+		for pos := 0; pos < len(out.Rows); pos += batch {
+			end := min(pos+batch, len(out.Rows))
+			if err := emit(out.Rows[pos:end]); err != nil {
+				e.errors.Add(1)
+				return nil, err
+			}
+		}
+	}
+	return e.sealStream(resp, execStart), nil
+}
+
+// admitSQL parses a query and admits its authorized plan (shared by Query
+// and QueryStream).
+func (e *Engine) admitSQL(query string) (*preparedQuery, bool, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, false, err
+	}
+	return e.admit(stmt, fingerprint(stmt))
+}
+
+// sealStream stamps the execution counters onto a completed streaming
+// response.
+func (e *Engine) sealStream(resp *Response, execStart time.Time) *Response {
+	resp.ExecTime = time.Since(execStart)
+	e.transfers.Add(uint64(len(resp.Transfers)))
+	e.bytesShipped.Add(uint64(resp.BytesShipped()))
+	return resp
+}

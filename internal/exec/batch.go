@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"fmt"
+
+	"mpq/internal/algebra"
+)
+
+// DefaultBatchSize is the number of rows exchanged per pipeline batch when
+// the executor does not override it.
+const DefaultBatchSize = 1024
+
+// Batch is a unit of data flow in the batch pipeline: a slice of rows in
+// the producing operator's schema order. Batches returned by Next are never
+// empty, and their row slices must be treated as immutable — operators that
+// rewrite cells (encryption, decryption) copy rows before mutating, so
+// upstream batches may alias long-lived table storage with zero copies.
+type Batch struct {
+	Rows [][]Value
+}
+
+// Operator is one node of a compiled batch pipeline. The contract is the
+// classical Open/Next/Close volcano interface, vectorized: Next returns the
+// next non-empty batch of rows, or (nil, nil) once the stream is exhausted.
+// All column indexes, predicate evaluators, projection maps, and key
+// material are resolved when the operator is built, not per row.
+type Operator interface {
+	// Schema returns the attributes of the rows the operator produces.
+	Schema() []algebra.Attr
+	// Open prepares the operator (and its inputs) for iteration.
+	Open() error
+	// Next returns the next batch, or (nil, nil) at end of stream.
+	Next() (*Batch, error)
+	// Close releases the operator's resources; it is safe after errors.
+	Close() error
+}
+
+// batchSize returns the executor's configured pipeline batch size.
+func (e *Executor) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// Drain runs a compiled pipeline to completion and materializes its output
+// as a table: the compatibility bridge between the streaming interior and
+// the *Table call sites.
+func Drain(op Operator) (*Table, error) {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	out := NewTable(op.Schema())
+	for {
+		b, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		out.Rows = append(out.Rows, b.Rows...)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tableScan streams an in-memory table in batches. With a nil projection
+// the batches alias the table's row storage (zero copies); with a
+// projection each batch holds freshly built rows.
+type tableScan struct {
+	schema   []algebra.Attr
+	rows     [][]Value
+	project  []int // nil = identity
+	rawWidth int   // width every stored row must have (the table schema's)
+	batch    int
+	pos      int
+}
+
+func newTableScan(t *Table, project []int, batch int) *tableScan {
+	schema := t.Schema
+	if project != nil {
+		schema = make([]algebra.Attr, len(project))
+		for i, ix := range project {
+			schema[i] = t.Schema[ix]
+		}
+	}
+	return &tableScan{schema: schema, rows: t.Rows, project: project, rawWidth: len(t.Schema), batch: batch}
+}
+
+func (s *tableScan) Schema() []algebra.Attr { return s.schema }
+func (s *tableScan) Open() error            { s.pos = 0; return nil }
+func (s *tableScan) Close() error           { return nil }
+
+func (s *tableScan) Next() (*Batch, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	end := s.pos + s.batch
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	window := s.rows[s.pos:end]
+	s.pos = end
+	// Ragged rows (a mis-built or mis-shipped relation) would corrupt
+	// every positional access downstream; fail the scan instead.
+	for _, r := range window {
+		if len(r) != s.rawWidth {
+			return nil, fmt.Errorf("exec: scanned row width %d != schema width %d", len(r), s.rawWidth)
+		}
+	}
+	if s.project == nil {
+		return &Batch{Rows: window}, nil
+	}
+	out := make([][]Value, len(window))
+	for i, r := range window {
+		row := make([]Value, len(s.project))
+		for j, ix := range s.project {
+			row[j] = r[ix]
+		}
+		out[i] = row
+	}
+	return &Batch{Rows: out}, nil
+}
+
+// identityProjection reports whether indices is 0,1,...,n-1 over a schema
+// of width n, i.e. the projection is a no-op.
+func identityProjection(indices []int, width int) bool {
+	if len(indices) != width {
+		return false
+	}
+	for i, ix := range indices {
+		if ix != i {
+			return false
+		}
+	}
+	return true
+}

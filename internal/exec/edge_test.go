@@ -173,14 +173,17 @@ func TestValueEdgeCases(t *testing.T) {
 	}
 }
 
-func TestAppendPanicsOnWidthMismatch(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Errorf("width mismatch did not panic")
-		}
-	}()
+func TestAppendErrorsOnWidthMismatch(t *testing.T) {
 	tbl := NewTable([]algebra.Attr{algebra.A("R", "a")})
-	tbl.Append([]Value{Int(1), Int(2)})
+	if err := tbl.Append([]Value{Int(1), Int(2)}); err == nil {
+		t.Errorf("width mismatch did not error")
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("mismatched row was appended anyway")
+	}
+	if err := tbl.Append([]Value{Int(1)}); err != nil {
+		t.Errorf("matching row rejected: %v", err)
+	}
 }
 
 func TestMixedCipherComparisonErrors(t *testing.T) {

@@ -82,7 +82,7 @@ func TestSortByOPECiphertextColumn(t *testing.T) {
 	// Decrypt the sorted ciphertexts and verify the order.
 	prev := int64(-1 << 62)
 	for _, row := range ct.Rows {
-		pv, err := e.decryptValue(row[0].C)
+		pv, err := e.DecryptValue(row[0].C)
 		if err != nil {
 			t.Fatal(err)
 		}

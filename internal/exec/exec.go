@@ -31,6 +31,19 @@ type Executor struct {
 	// recursing. The distributed simulator uses this to feed a subject the
 	// sub-results received from other subjects.
 	Materialized map[algebra.Node]*Table
+	// Sources maps plan nodes to already-built operators: when Build
+	// reaches such a node it splices the operator into the pipeline
+	// instead of compiling the subtree. The streaming distributed runtime
+	// uses this to feed a fragment the batches arriving from other
+	// subjects without materializing them first.
+	Sources map[algebra.Node]Operator
+	// BatchSize is the number of rows per pipeline batch (0 means
+	// DefaultBatchSize).
+	BatchSize int
+	// Materializing selects the legacy row-at-a-time, whole-table
+	// evaluator instead of the batch pipeline. It is kept as the reference
+	// oracle for equivalence tests and as the benchmark baseline.
+	Materializing bool
 }
 
 // ConstCache maps value-comparison conditions to their encrypted literals.
@@ -59,16 +72,38 @@ func (e *Executor) Clone() *Executor {
 		udfs[name] = fn
 	}
 	return &Executor{
-		Tables:       e.Tables,
-		Keys:         e.Keys,
-		UDFs:         udfs,
-		Consts:       make(ConstCache),
-		Materialized: make(map[algebra.Node]*Table),
+		Tables:        e.Tables,
+		Keys:          e.Keys,
+		UDFs:          udfs,
+		Consts:        make(ConstCache),
+		Materialized:  make(map[algebra.Node]*Table),
+		BatchSize:     e.BatchSize,
+		Materializing: e.Materializing,
 	}
 }
 
-// Run evaluates the plan rooted at n and returns the produced relation.
+// Run evaluates the plan rooted at n and returns the produced relation. The
+// default path compiles the plan into the batch pipeline (Build) and drains
+// it; with Materializing set it falls back to the legacy row-at-a-time
+// recursive evaluator, kept as the reference oracle.
 func (e *Executor) Run(n algebra.Node) (*Table, error) {
+	if e.Materializing {
+		return e.runMaterializing(n)
+	}
+	if t, ok := e.Materialized[n]; ok {
+		return t, nil
+	}
+	op, err := e.Build(n)
+	if err != nil {
+		return nil, err
+	}
+	return Drain(op)
+}
+
+// runMaterializing evaluates the plan by the legacy whole-table recursion:
+// every operator materializes its full result before the parent consumes
+// it, and predicate references are resolved per row.
+func (e *Executor) runMaterializing(n algebra.Node) (*Table, error) {
 	if t, ok := e.Materialized[n]; ok {
 		return t, nil
 	}
@@ -112,7 +147,7 @@ func (e *Executor) runBase(b *algebra.Base) (*Table, error) {
 }
 
 func (e *Executor) runProject(p *algebra.Project) (*Table, error) {
-	in, err := e.Run(p.Child)
+	in, err := e.runMaterializing(p.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +163,7 @@ func (e *Executor) runProject(p *algebra.Project) (*Table, error) {
 }
 
 func (e *Executor) runSelect(s *algebra.Select) (*Table, error) {
-	in, err := e.Run(s.Child)
+	in, err := e.runMaterializing(s.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -147,11 +182,11 @@ func (e *Executor) runSelect(s *algebra.Select) (*Table, error) {
 }
 
 func (e *Executor) runProduct(p *algebra.Product) (*Table, error) {
-	l, err := e.Run(p.L)
+	l, err := e.runMaterializing(p.L)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.Run(p.R)
+	r, err := e.runMaterializing(p.R)
 	if err != nil {
 		return nil, err
 	}
@@ -170,11 +205,11 @@ func concatRows(a, b []Value) []Value {
 }
 
 func (e *Executor) runJoin(j *algebra.Join) (*Table, error) {
-	l, err := e.Run(j.L)
+	l, err := e.runMaterializing(j.L)
 	if err != nil {
 		return nil, err
 	}
-	r, err := e.Run(j.R)
+	r, err := e.runMaterializing(j.R)
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +293,7 @@ func (e *Executor) runJoin(j *algebra.Join) (*Table, error) {
 }
 
 func (e *Executor) runUDF(u *algebra.UDF) (*Table, error) {
-	in, err := e.Run(u.Child)
+	in, err := e.runMaterializing(u.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +337,7 @@ func (e *Executor) runUDF(u *algebra.UDF) (*Table, error) {
 }
 
 func (e *Executor) runEncrypt(enc *algebra.Encrypt) (*Table, error) {
-	in, err := e.Run(enc.Child)
+	in, err := e.runMaterializing(enc.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +438,7 @@ func EncryptValue(ring *crypto.KeyRing, scheme algebra.Scheme, v Value) (Value, 
 }
 
 func (e *Executor) runDecrypt(dec *algebra.Decrypt) (*Table, error) {
-	in, err := e.Run(dec.Child)
+	in, err := e.runMaterializing(dec.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -422,7 +457,7 @@ func (e *Executor) runDecrypt(dec *algebra.Decrypt) (*Table, error) {
 				if !v.IsCipher() {
 					return nil, fmt.Errorf("exec: decrypting plaintext %s", a)
 				}
-				pv, err := e.decryptValue(v.C)
+				pv, err := e.DecryptValue(v.C)
 				if err != nil {
 					return nil, fmt.Errorf("exec: decrypting %s: %w", a, err)
 				}
@@ -433,12 +468,18 @@ func (e *Executor) runDecrypt(dec *algebra.Decrypt) (*Table, error) {
 	return out, nil
 }
 
-// decryptValue decrypts one ciphertext with the executor's keys.
-func (e *Executor) decryptValue(c *Cipher) (Value, error) {
+// DecryptValue decrypts one ciphertext with the executor's keys.
+func (e *Executor) DecryptValue(c *Cipher) (Value, error) {
 	ring, err := e.Keys.Get(c.KeyID)
 	if err != nil {
 		return Value{}, err
 	}
+	return decryptCipher(ring, c)
+}
+
+// decryptCipher decrypts one ciphertext with an already-resolved key ring
+// (the batch pipeline caches ring lookups per operator).
+func decryptCipher(ring *crypto.KeyRing, c *Cipher) (Value, error) {
 	switch c.Scheme {
 	case algebra.SchemeDeterministic:
 		d, err := ring.Det()
@@ -487,7 +528,7 @@ func (e *Executor) decryptValue(c *Cipher) (Value, error) {
 // deterministic/OPE ciphertexts; sums and averages over Paillier
 // ciphertexts accumulate homomorphically with the public key.
 func (e *Executor) runGroupBy(g *algebra.GroupBy) (*Table, error) {
-	in, err := e.Run(g.Child)
+	in, err := e.runMaterializing(g.Child)
 	if err != nil {
 		return nil, err
 	}

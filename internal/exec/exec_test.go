@@ -379,11 +379,11 @@ func TestProviderCannotDecrypt(t *testing.T) {
 	}
 	// The provider can hash-join/group on the ciphertext but cannot decrypt.
 	provider.Tables["R"] = ct
-	if _, err := provider.decryptValue(ct.Rows[0][0].C); err == nil {
+	if _, err := provider.DecryptValue(ct.Rows[0][0].C); err == nil {
 		t.Errorf("public-only provider decrypted a deterministic ciphertext")
 	}
 	// The owner can.
-	if v, err := owner.decryptValue(ct.Rows[0][0].C); err != nil || v.I != 7 {
+	if v, err := owner.DecryptValue(ct.Rows[0][0].C); err != nil || v.I != 7 {
 		t.Errorf("owner decrypt = %v, %v", v, err)
 	}
 }

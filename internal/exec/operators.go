@@ -1,0 +1,619 @@
+package exec
+
+import (
+	"fmt"
+	"math/big"
+
+	"mpq/internal/algebra"
+	"mpq/internal/crypto"
+	"mpq/internal/sql"
+)
+
+// ---------------------------------------------------------------------------
+// Projection
+
+type projectOp struct {
+	child   Operator
+	indices []int
+	schema  []algebra.Attr
+}
+
+func (p *projectOp) Schema() []algebra.Attr { return p.schema }
+func (p *projectOp) Open() error            { return p.child.Open() }
+func (p *projectOp) Close() error           { return p.child.Close() }
+
+func (p *projectOp) Next() (*Batch, error) {
+	b, err := p.child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	out := make([][]Value, len(b.Rows))
+	for i, r := range b.Rows {
+		row := make([]Value, len(p.indices))
+		for j, ix := range p.indices {
+			row[j] = r[ix]
+		}
+		out[i] = row
+	}
+	return &Batch{Rows: out}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Selection
+
+type filterOp struct {
+	child Operator
+	pred  predFn
+}
+
+func (f *filterOp) Schema() []algebra.Attr { return f.child.Schema() }
+func (f *filterOp) Open() error            { return f.child.Open() }
+func (f *filterOp) Close() error           { return f.child.Close() }
+
+func (f *filterOp) Next() (*Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if b == nil || err != nil {
+			return nil, err
+		}
+		kept := 0
+		var out [][]Value
+		for i, row := range b.Rows {
+			ok, err := f.pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if out == nil && kept == i {
+				// Prefix of survivors so far: defer allocating.
+				kept++
+				continue
+			}
+			if out == nil {
+				out = append(make([][]Value, 0, len(b.Rows)), b.Rows[:kept]...)
+			}
+			out = append(out, row)
+		}
+		if out == nil {
+			if kept == len(b.Rows) {
+				return b, nil // every row passed: forward the batch as-is
+			}
+			if kept == 0 {
+				continue
+			}
+			return &Batch{Rows: b.Rows[:kept]}, nil
+		}
+		return &Batch{Rows: out}, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Cartesian product
+
+type productOp struct {
+	left   Operator
+	right  Operator
+	schema []algebra.Attr
+	batch  int
+
+	rightRows [][]Value
+	cur       *Batch
+	li, ri    int
+}
+
+func (p *productOp) Schema() []algebra.Attr { return p.schema }
+
+func (p *productOp) Open() error {
+	if err := p.left.Open(); err != nil {
+		return err
+	}
+	t, err := Drain(p.right)
+	if err != nil {
+		return err
+	}
+	p.rightRows = t.Rows
+	p.cur, p.li, p.ri = nil, 0, 0
+	return nil
+}
+
+func (p *productOp) Close() error { return p.left.Close() }
+
+func (p *productOp) Next() (*Batch, error) {
+	if len(p.rightRows) == 0 {
+		// The product is empty, but the probe side must still be drained:
+		// under the streaming runtime its producer may be another subject's
+		// fragment worker, which can only complete its stream (and ledger
+		// entry) once every batch is consumed.
+		for {
+			b, err := p.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				return nil, nil
+			}
+		}
+	}
+	out := make([][]Value, 0, p.batch)
+	for {
+		if p.cur == nil {
+			b, err := p.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			p.cur, p.li, p.ri = b, 0, 0
+		}
+		out = append(out, concatRows(p.cur.Rows[p.li], p.rightRows[p.ri]))
+		p.ri++
+		if p.ri == len(p.rightRows) {
+			p.ri = 0
+			p.li++
+			if p.li == len(p.cur.Rows) {
+				p.cur = nil
+			}
+		}
+		if len(out) == p.batch {
+			return &Batch{Rows: out}, nil
+		}
+	}
+	if len(out) > 0 {
+		return &Batch{Rows: out}, nil
+	}
+	return nil, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+
+type hashJoinOp struct {
+	left, right  Operator
+	schema       []algebra.Attr
+	hashL, hashR int
+	residual     predFn // nil when the equality pair is the whole condition
+	batch        int
+
+	index    map[string][][]Value
+	cur      *Batch
+	li       int
+	matches  [][]Value
+	matchIdx int
+}
+
+func (j *hashJoinOp) Schema() []algebra.Attr { return j.schema }
+
+func (j *hashJoinOp) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	t, err := Drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.index = make(map[string][][]Value, len(t.Rows))
+	for _, rr := range t.Rows {
+		k, err := groupKey(rr[j.hashR])
+		if err != nil {
+			return err
+		}
+		j.index[k] = append(j.index[k], rr)
+	}
+	j.cur, j.li, j.matches, j.matchIdx = nil, 0, nil, 0
+	return nil
+}
+
+func (j *hashJoinOp) Close() error { return j.left.Close() }
+
+func (j *hashJoinOp) Next() (*Batch, error) {
+	out := make([][]Value, 0, j.batch)
+	for {
+		// Drain pending matches for the current probe row.
+		for j.matchIdx < len(j.matches) {
+			row := concatRows(j.cur.Rows[j.li-1], j.matches[j.matchIdx])
+			j.matchIdx++
+			if j.residual != nil {
+				ok, err := j.residual(row)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					continue
+				}
+			}
+			out = append(out, row)
+			if len(out) == j.batch {
+				return &Batch{Rows: out}, nil
+			}
+		}
+		// Advance to the next probe row.
+		if j.cur == nil || j.li == len(j.cur.Rows) {
+			b, err := j.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if len(out) > 0 {
+					return &Batch{Rows: out}, nil
+				}
+				return nil, nil
+			}
+			j.cur, j.li = b, 0
+		}
+		k, err := groupKey(j.cur.Rows[j.li][j.hashL])
+		if err != nil {
+			return nil, err
+		}
+		j.matches, j.matchIdx = j.index[k], 0
+		j.li++
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Group by
+
+// groupAcc is the per-group accumulator of one aggregate, with the Paillier
+// key ring resolved once per key id (cached on the operator) instead of per
+// row.
+type groupAcc struct {
+	fn    sql.AggFunc
+	count int64
+	sum   float64
+	min   Value
+	max   Value
+	phe   *big.Int
+	pheC  *Cipher
+}
+
+type groupByOp struct {
+	child  Operator
+	e      *Executor
+	schema []algebra.Attr
+	keyIdx []int
+	aggIdx []int
+	specs  []algebra.AggSpec
+	batch  int
+	rings  map[string]*crypto.KeyRing
+
+	built bool
+	out   [][]Value
+	pos   int
+}
+
+func (g *groupByOp) Schema() []algebra.Attr { return g.schema }
+func (g *groupByOp) Open() error            { g.built, g.out, g.pos = false, nil, 0; return g.child.Open() }
+func (g *groupByOp) Close() error           { return g.child.Close() }
+
+func (g *groupByOp) ring(keyID string) (*crypto.KeyRing, error) {
+	if r, ok := g.rings[keyID]; ok {
+		return r, nil
+	}
+	r, err := g.e.Keys.Get(keyID)
+	if err != nil {
+		return nil, err
+	}
+	g.rings[keyID] = r
+	return r, nil
+}
+
+func (g *groupByOp) add(acc *groupAcc, v Value) error {
+	acc.count++
+	switch acc.fn {
+	case sql.AggCount:
+		return nil
+	case sql.AggSum, sql.AggAvg:
+		if v.IsCipher() {
+			if v.C.Scheme != algebra.SchemePaillier {
+				return fmt.Errorf("exec: %s over %s ciphertext", acc.fn, v.C.Scheme)
+			}
+			ring, err := g.ring(v.C.KeyID)
+			if err != nil {
+				return err
+			}
+			if acc.phe == nil {
+				acc.phe = v.C.Phe
+				acc.pheC = v.C
+			} else {
+				acc.phe = ring.PK.Add(acc.phe, v.C.Phe)
+			}
+			return nil
+		}
+		f, err := v.AsFloat()
+		if err != nil {
+			return err
+		}
+		acc.sum += f
+		return nil
+	case sql.AggMin, sql.AggMax:
+		if acc.count == 1 {
+			acc.min, acc.max = v, v
+			return nil
+		}
+		c, err := compareForSort(v, acc.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			acc.min = v
+		}
+		c, err = compareForSort(v, acc.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			acc.max = v
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown aggregate %q", acc.fn)
+}
+
+func (g *groupByOp) result(acc *groupAcc) (Value, error) {
+	switch acc.fn {
+	case sql.AggCount:
+		return Int(acc.count), nil
+	case sql.AggSum:
+		if acc.phe != nil {
+			return Enc(&Cipher{Scheme: algebra.SchemePaillier, KeyID: acc.pheC.KeyID, Phe: acc.phe, Div: 1, Plain: acc.pheC.Plain}), nil
+		}
+		return Float(acc.sum), nil
+	case sql.AggAvg:
+		if acc.phe != nil {
+			return Enc(&Cipher{Scheme: algebra.SchemePaillier, KeyID: acc.pheC.KeyID, Phe: acc.phe, Div: acc.count, Plain: KFloat}), nil
+		}
+		if acc.count == 0 {
+			return Null(), nil
+		}
+		return Float(acc.sum / float64(acc.count)), nil
+	case sql.AggMin:
+		return acc.min, nil
+	case sql.AggMax:
+		return acc.max, nil
+	}
+	return Value{}, fmt.Errorf("exec: unknown aggregate %q", acc.fn)
+}
+
+// build drains the child (the group-by is a pipeline breaker) and
+// hash-aggregates it, emitting groups in first-seen order.
+func (g *groupByOp) build() error {
+	type group struct {
+		keyVals []Value
+		accs    []*groupAcc
+	}
+	groups := make(map[string]*group)
+	var order []string
+	var keyBuf []byte
+
+	for {
+		b, err := g.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, row := range b.Rows {
+			keyBuf = keyBuf[:0]
+			for _, ix := range g.keyIdx {
+				k, err := groupKey(row[ix])
+				if err != nil {
+					return err
+				}
+				keyBuf = append(keyBuf, k...)
+				keyBuf = append(keyBuf, '\x1f')
+			}
+			hk := string(keyBuf)
+			grp, ok := groups[hk]
+			if !ok {
+				grp = &group{keyVals: make([]Value, len(g.keyIdx)), accs: make([]*groupAcc, len(g.specs))}
+				for i, ix := range g.keyIdx {
+					grp.keyVals[i] = row[ix]
+				}
+				for i, sp := range g.specs {
+					grp.accs[i] = &groupAcc{fn: sp.Func}
+				}
+				groups[hk] = grp
+				order = append(order, hk)
+			}
+			for i, sp := range g.specs {
+				var v Value
+				if !sp.Star {
+					v = row[g.aggIdx[i]]
+				}
+				if err := g.add(grp.accs[i], v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	g.out = make([][]Value, 0, len(order))
+	for _, hk := range order {
+		grp := groups[hk]
+		row := make([]Value, 0, len(grp.keyVals)+len(g.specs))
+		row = append(row, grp.keyVals...)
+		for i := range g.specs {
+			v, err := g.result(grp.accs[i])
+			if err != nil {
+				return err
+			}
+			row = append(row, v)
+		}
+		g.out = append(g.out, row)
+	}
+	return nil
+}
+
+func (g *groupByOp) Next() (*Batch, error) {
+	if !g.built {
+		if err := g.build(); err != nil {
+			return nil, err
+		}
+		g.built = true
+	}
+	if g.pos >= len(g.out) {
+		return nil, nil
+	}
+	end := g.pos + g.batch
+	if end > len(g.out) {
+		end = len(g.out)
+	}
+	window := g.out[g.pos:end]
+	g.pos = end
+	return &Batch{Rows: window}, nil
+}
+
+// ---------------------------------------------------------------------------
+// User defined function
+
+type udfOp struct {
+	child  Operator
+	node   *algebra.UDF
+	fn     UDFFunc
+	argIdx []int
+	srcIdx []int // output position → input column, -1 = the UDF result
+	schema []algebra.Attr
+}
+
+func (u *udfOp) Schema() []algebra.Attr { return u.schema }
+func (u *udfOp) Open() error            { return u.child.Open() }
+func (u *udfOp) Close() error           { return u.child.Close() }
+
+func (u *udfOp) Next() (*Batch, error) {
+	b, err := u.child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	out := make([][]Value, len(b.Rows))
+	args := make([]Value, len(u.argIdx))
+	for ri, row := range b.Rows {
+		for i, ix := range u.argIdx {
+			if row[ix].IsCipher() {
+				return nil, fmt.Errorf("exec: udf %q over encrypted argument %s", u.node.Name, u.node.Args[i])
+			}
+			args[i] = row[ix]
+		}
+		res, err := u.fn(args)
+		if err != nil {
+			return nil, fmt.Errorf("exec: udf %q: %w", u.node.Name, err)
+		}
+		outRow := make([]Value, len(u.srcIdx))
+		for i, src := range u.srcIdx {
+			if src < 0 {
+				outRow[i] = res
+			} else {
+				outRow[i] = row[src]
+			}
+		}
+		out[ri] = outRow
+	}
+	return &Batch{Rows: out}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encryption / decryption
+
+// encCol is one attribute to encrypt: its schema positions and the scheme
+// and key ring resolved at build time.
+type encCol struct {
+	attr   algebra.Attr
+	scheme algebra.Scheme
+	ring   *crypto.KeyRing
+	idx    []int
+}
+
+type encryptOp struct {
+	child Operator
+	cols  []encCol
+}
+
+func (o *encryptOp) Schema() []algebra.Attr { return o.child.Schema() }
+func (o *encryptOp) Open() error            { return o.child.Open() }
+func (o *encryptOp) Close() error           { return o.child.Close() }
+
+func (o *encryptOp) Next() (*Batch, error) {
+	b, err := o.child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	out := make([][]Value, len(b.Rows))
+	for ri, row := range b.Rows {
+		nr := append(make([]Value, 0, len(row)), row...)
+		for _, c := range o.cols {
+			for _, ci := range c.idx {
+				if nr[ci].IsCipher() {
+					return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
+				}
+				cv, err := EncryptValue(c.ring, c.scheme, nr[ci])
+				if err != nil {
+					return nil, fmt.Errorf("exec: encrypting %s: %w", c.attr, err)
+				}
+				nr[ci] = cv
+			}
+		}
+		out[ri] = nr
+	}
+	return &Batch{Rows: out}, nil
+}
+
+// decCol is one attribute to decrypt: its schema positions.
+type decCol struct {
+	attr algebra.Attr
+	idx  []int
+}
+
+type decryptOp struct {
+	child Operator
+	e     *Executor
+	cols  []decCol
+	rings map[string]*crypto.KeyRing
+}
+
+func (o *decryptOp) Schema() []algebra.Attr { return o.child.Schema() }
+func (o *decryptOp) Open() error            { return o.child.Open() }
+func (o *decryptOp) Close() error           { return o.child.Close() }
+
+func (o *decryptOp) ring(keyID string) (*crypto.KeyRing, error) {
+	if r, ok := o.rings[keyID]; ok {
+		return r, nil
+	}
+	r, err := o.e.Keys.Get(keyID)
+	if err != nil {
+		return nil, err
+	}
+	o.rings[keyID] = r
+	return r, nil
+}
+
+func (o *decryptOp) Next() (*Batch, error) {
+	b, err := o.child.Next()
+	if b == nil || err != nil {
+		return nil, err
+	}
+	out := make([][]Value, len(b.Rows))
+	for ri, row := range b.Rows {
+		nr := append(make([]Value, 0, len(row)), row...)
+		for _, c := range o.cols {
+			for _, ci := range c.idx {
+				v := nr[ci]
+				if !v.IsCipher() {
+					return nil, fmt.Errorf("exec: decrypting plaintext %s", c.attr)
+				}
+				ring, err := o.ring(v.C.KeyID)
+				if err != nil {
+					return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
+				}
+				pv, err := decryptCipher(ring, v.C)
+				if err != nil {
+					return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
+				}
+				nr[ci] = pv
+			}
+		}
+		out[ri] = nr
+	}
+	return &Batch{Rows: out}, nil
+}

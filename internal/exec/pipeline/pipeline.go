@@ -1,0 +1,127 @@
+// Package pipeline is the streaming layer over the batch execution engine:
+// it drives compiled Open/Next/Close operator streams (exec.Build), adapts
+// channels into pipeline sources so plan fragments on different subjects
+// can exchange row batches instead of whole relations, and provides the
+// user-side streaming finalization (batched decryption) the engine's
+// streaming Query variant builds on.
+//
+// The package deliberately holds no evaluation logic of its own: operator
+// semantics live in internal/exec (where the legacy materializing evaluator
+// remains available as the equivalence oracle); pipeline owns how compiled
+// streams are driven, exchanged, and consumed.
+package pipeline
+
+import (
+	"mpq/internal/algebra"
+	"mpq/internal/exec"
+)
+
+// Pump opens op, forwards every batch to emit, and closes it. It is the
+// producer side of a batch exchange: fragment workers pump their compiled
+// sub-plan into the channel feeding the consuming subject (an emit error
+// aborts the pump and is returned).
+func Pump(op exec.Operator, emit func(*exec.Batch) error) error {
+	if err := op.Open(); err != nil {
+		op.Close()
+		return err
+	}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			op.Close()
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if err := emit(b); err != nil {
+			op.Close()
+			return err
+		}
+	}
+	return op.Close()
+}
+
+// Msg is one hop of a batch exchange: a batch, or the producer's terminal
+// error. The producer closes the channel after the last message.
+type Msg struct {
+	Batch *exec.Batch
+	Err   error
+}
+
+// Source adapts a channel of exchange messages into a pipeline operator, so
+// a compiled fragment consumes batches arriving from another subject
+// exactly like rows scanned from a local table. The optional done channel
+// aborts blocked reads when another fragment of the run fails.
+type Source struct {
+	schema []algebra.Attr
+	ch     <-chan Msg
+	done   <-chan struct{}
+	err    error
+}
+
+// NewSource returns a source producing the given schema from ch.
+func NewSource(schema []algebra.Attr, ch <-chan Msg, done <-chan struct{}) *Source {
+	return &Source{schema: schema, ch: ch, done: done}
+}
+
+// Schema returns the schema of the exchanged rows.
+func (s *Source) Schema() []algebra.Attr { return s.schema }
+
+// Open is a no-op: the producing worker drives the channel.
+func (s *Source) Open() error { return nil }
+
+// Close is a no-op: abandoned producers unblock via the done channel.
+func (s *Source) Close() error { return nil }
+
+// Next returns the next batch from the exchange.
+func (s *Source) Next() (*exec.Batch, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	select {
+	case m, ok := <-s.ch:
+		if !ok {
+			return nil, nil
+		}
+		if m.Err != nil {
+			s.err = m.Err
+			return nil, m.Err
+		}
+		return m.Batch, nil
+	case <-s.done:
+		s.err = errAborted
+		return nil, s.err
+	}
+}
+
+// errAborted reports that the run was torn down because a sibling fragment
+// failed; the fragment's own error carries the cause.
+var errAborted = errStr("pipeline: execution aborted")
+
+type errStr string
+
+func (e errStr) Error() string { return string(e) }
+
+// DecryptRows is the streaming counterpart of Executor.DecryptTable: it
+// returns a copy of the rows with every ciphertext decrypted using ex's
+// keys, leaving the input batch untouched (it may alias upstream storage).
+func DecryptRows(ex *exec.Executor, rows [][]exec.Value) ([][]exec.Value, error) {
+	out := make([][]exec.Value, len(rows))
+	for ri, row := range rows {
+		nr := make([]exec.Value, len(row))
+		for ci, v := range row {
+			if v.IsCipher() {
+				pv, err := ex.DecryptValue(v.C)
+				if err != nil {
+					return nil, err
+				}
+				nr[ci] = pv
+			} else {
+				nr[ci] = v
+			}
+		}
+		out[ri] = nr
+	}
+	return out, nil
+}

@@ -46,7 +46,7 @@ func (e *Executor) DecryptTable(t *Table) (*Table, error) {
 		nr := make([]Value, len(row))
 		for ci, v := range row {
 			if v.IsCipher() {
-				pv, err := e.decryptValue(v.C)
+				pv, err := e.DecryptValue(v.C)
 				if err != nil {
 					return nil, err
 				}

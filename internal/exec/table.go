@@ -31,12 +31,16 @@ func (t *Table) ColIndex(a algebra.Attr) int {
 	return -1
 }
 
-// Append adds a row (which must match the schema length).
-func (t *Table) Append(row []Value) {
+// Append adds a row. A row whose width does not match the schema yields an
+// error (it would corrupt every positional access downstream): a malformed
+// plan or mis-shipped sub-result fails its query instead of panicking the
+// serving process.
+func (t *Table) Append(row []Value) error {
 	if len(row) != len(t.Schema) {
-		panic(fmt.Sprintf("exec: row width %d != schema width %d", len(row), len(t.Schema)))
+		return fmt.Errorf("exec: row width %d != schema width %d", len(row), len(t.Schema))
 	}
 	t.Rows = append(t.Rows, row)
+	return nil
 }
 
 // Len returns the number of rows.

@@ -1,0 +1,95 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is a representative slice of the TPC-H workload corpus
+// (internal/tpch restatements; copied as literals because tpch depends on
+// this package) plus fragments that exercise every token and clause.
+var fuzzSeeds = []string{
+	`select l_returnflag, l_linestatus,
+	       sum(l_quantity), sum(l_extendedprice), sum(l_revenue),
+	       avg(l_quantity), avg(l_extendedprice), avg(l_discount), count(*)
+	from lineitem
+	where l_shipdate <= 2465
+	group by l_returnflag, l_linestatus
+	order by l_returnflag, l_linestatus`,
+	`select s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone
+	from part
+	join partsupp on p_partkey = ps_partkey
+	join supplier on s_suppkey = ps_suppkey
+	join nation on s_nationkey = n_nationkey
+	join region on n_regionkey = r_regionkey
+	where p_size = 15 and p_type like '%BRASS' and r_name = 'EUROPE'
+	order by s_acctbal desc, n_name, s_name, p_partkey
+	limit 100`,
+	`select l_orderkey, sum(l_revenue) as revenue, o_orderdate, o_shippriority
+	from customer
+	join orders on c_custkey = o_custkey
+	join lineitem on l_orderkey = o_orderkey
+	where c_mktsegment = 'BUILDING' and o_orderdate < 1170 and l_shipdate > 1170
+	group by l_orderkey, o_orderdate, o_shippriority
+	order by revenue desc, o_orderdate
+	limit 10`,
+	`select sum(l_discrev)
+	from lineitem
+	where l_shipdate >= 730 and l_shipdate < 1095
+	  and l_discount between 0.05 and 0.07 and l_quantity < 24`,
+	`select o_orderpriority, count(*) as order_count
+	from orders join lineitem on l_orderkey = o_orderkey
+	where o_orderdate >= 1095 and o_orderdate < 1185
+	  and l_commitdate < l_receiptdate
+	group by o_orderpriority
+	order by o_orderpriority`,
+	`select p_brand, p_type, p_size, count(ps_suppkey)
+	from partsupp join part on p_partkey = ps_partkey
+	where p_brand <> 'Brand#45' and p_size in (49, 14, 23, 45, 19, 3, 36, 9)
+	group by p_brand, p_type, p_size
+	having count(ps_suppkey) > 0`,
+	`select distinct c.C, risk(B, D) as r from Hosp h, Ins c where not (B = 1 or B != 2); `,
+	`select a from t where s like 'it''s _%' and x = -1.5 -- comment
+	/* block */ order by a asc`,
+	``,
+	`select`,
+	`select * from`,
+	`select a from t where`,
+	`select count( from t`,
+	`select a from t limit 999999999999999999999999`,
+	"select a from t where s = 'unterminated",
+	"select \x00 from \xff",
+	`select a.b.c from t.u`,
+	`select f(a, b, c) x from t join`,
+}
+
+// FuzzParse asserts the parser's crash-freedom contract: any byte string
+// either parses into a statement that can be rendered and re-parsed, or
+// fails with an error — it must never panic (a malformed query reaching a
+// serving process must fail that query only).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			if stmt != nil {
+				t.Fatalf("Parse returned both a statement and error %v", err)
+			}
+			return
+		}
+		if stmt == nil {
+			t.Fatal("Parse returned neither statement nor error")
+		}
+		// A parsed statement must render to SQL that parses again (the
+		// fingerprinting and dispatch layers rely on String round-trips).
+		rendered := stmt.String()
+		if strings.TrimSpace(rendered) == "" {
+			t.Fatalf("parsed statement rendered empty for input %q", src)
+		}
+		if _, err := Parse(rendered); err != nil {
+			t.Fatalf("re-parsing rendered statement %q failed: %v", rendered, err)
+		}
+	})
+}

@@ -65,7 +65,7 @@ func attrs(rel string, names ...string) []algebra.Attr {
 func (g *gen) region() *exec.Table {
 	t := exec.NewTable(attrs("region", "r_regionkey", "r_name", "r_comment"))
 	for i, name := range regionNames {
-		t.Append([]exec.Value{exec.Int(int64(i)), exec.String(name), exec.String(g.words(5))})
+		mustAppend(t, []exec.Value{exec.Int(int64(i)), exec.String(name), exec.String(g.words(5))})
 	}
 	return t
 }
@@ -73,7 +73,7 @@ func (g *gen) region() *exec.Table {
 func (g *gen) nation() *exec.Table {
 	t := exec.NewTable(attrs("nation", "n_nationkey", "n_name", "n_regionkey", "n_comment"))
 	for i, name := range nationNames {
-		t.Append([]exec.Value{
+		mustAppend(t, []exec.Value{
 			exec.Int(int64(i)), exec.String(name), exec.Int(int64(i % 5)), exec.String(g.words(6)),
 		})
 	}
@@ -85,7 +85,7 @@ func (g *gen) supplier() *exec.Table {
 		"s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment"))
 	n := g.count(10000)
 	for i := 1; i <= n; i++ {
-		t.Append([]exec.Value{
+		mustAppend(t, []exec.Value{
 			exec.Int(int64(i)),
 			exec.String(fmt.Sprintf("Supplier#%09d", i)),
 			exec.String(g.words(3)),
@@ -103,7 +103,7 @@ func (g *gen) customer() *exec.Table {
 		"c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment", "c_comment"))
 	n := g.count(150000)
 	for i := 1; i <= n; i++ {
-		t.Append([]exec.Value{
+		mustAppend(t, []exec.Value{
 			exec.Int(int64(i)),
 			exec.String(fmt.Sprintf("Customer#%09d", i)),
 			exec.String(g.words(3)),
@@ -128,7 +128,7 @@ func (g *gen) part() *exec.Table {
 		ptype := typeSyllables1[g.rnd.Intn(len(typeSyllables1))] + " " +
 			typeSyllables2[g.rnd.Intn(len(typeSyllables2))] + " " +
 			typeSyllables3[g.rnd.Intn(len(typeSyllables3))]
-		t.Append([]exec.Value{
+		mustAppend(t, []exec.Value{
 			exec.Int(int64(i)),
 			exec.String(name),
 			exec.String(fmt.Sprintf("Manufacturer#%d", mfgr)),
@@ -152,7 +152,7 @@ func (g *gen) partsupp() *exec.Table {
 		for j := 0; j < 4; j++ {
 			qty := 1 + g.rnd.Intn(9999)
 			cost := g.money(1, 1000)
-			t.Append([]exec.Value{
+			mustAppend(t, []exec.Value{
 				exec.Int(int64(p)),
 				exec.Int(int64(1 + (p+j*parts/4)%supps)),
 				exec.Int(int64(qty)),
@@ -227,7 +227,7 @@ func (g *gen) ordersAndLineitem() (*exec.Table, *exec.Table) {
 		} else if anyOpen && !allShipped {
 			status = "O"
 		}
-		orders.Append([]exec.Value{
+		mustAppend(orders, []exec.Value{
 			exec.Int(int64(o)),
 			exec.Int(int64(1 + g.rnd.Intn(nCust))),
 			exec.String(status),
@@ -241,7 +241,7 @@ func (g *gen) ordersAndLineitem() (*exec.Table, *exec.Table) {
 		for i, l := range lines {
 			revenue := math.Round(l.price*(1-l.disc)*100) / 100
 			discrev := math.Round(l.price*l.disc*100) / 100
-			items.Append([]exec.Value{
+			mustAppend(items, []exec.Value{
 				exec.Int(int64(o)),
 				exec.Int(l.part),
 				exec.Int(l.supp),
@@ -264,4 +264,13 @@ func (g *gen) ordersAndLineitem() (*exec.Table, *exec.Table) {
 		}
 	}
 	return orders, items
+}
+
+// mustAppend adds a row to a generated relation, panicking on a width
+// mismatch: a malformed generator is a programming error in the harness and
+// must fail loudly at the fault, not produce a silently short relation.
+func mustAppend(t *exec.Table, row []exec.Value) {
+	if err := t.Append(row); err != nil {
+		panic(err)
+	}
 }
