@@ -1,14 +1,18 @@
 // Command engbench measures closed-loop engine throughput: N client
 // goroutines issue TPC-H queries back-to-back against one engine, and the
 // harness reports queries/sec and mean latency per configuration — the
-// batch-streaming pipeline vs the legacy materializing interior, with cold
+// batch-streaming pipeline vs the legacy materializing interior and vs the
+// batch pipeline with per-value crypto forced (batch-valuecrypto-*,
+// isolating the batched crypto engine on encrypted scenarios), with cold
 // (cache disabled, every query re-runs the full authorize/extend/assign/key
 // pipeline) vs cached (authorized plans reused) planning. With -stream it
 // additionally drives Engine.QueryStream and reports mean time-to-first-row
-// next to full latency. Results are written as JSON (BENCH_engine.json in
-// the repo records the measured comparison).
+// next to full latency. -paillierbits (alias -paillier-bits) sizes the
+// Paillier primes and -cryptoworkers the intra-batch crypto worker pool.
+// Results are written as JSON (BENCH_engine.json in the repo records the
+// measured comparison).
 //
-//	engbench -sf 0.001 -duration 3s -clients 1,2,4,8 -stream -out BENCH_engine.json
+//	engbench -scenario UAPenc -sf 0.001 -duration 3s -clients 1,2 -out BENCH_engine.json
 package main
 
 import (
@@ -48,7 +52,10 @@ type report struct {
 	PaillierBits int     `json:"paillier_bits"`
 	Queries      []int   `json:"queries"`
 	BatchSize    int     `json:"batch_size"`
-	DurationSec  float64 `json:"duration_per_cell_sec"`
+	// CryptoWorkers is the intra-batch crypto worker pool size (0 =
+	// GOMAXPROCS).
+	CryptoWorkers int     `json:"crypto_workers"`
+	DurationSec   float64 `json:"duration_per_cell_sec"`
 	// RTTMs and LinkMBps describe the simulated wide-area links between
 	// subjects; CPUs and GOMAXPROCS record the host parallelism. Fragment
 	// concurrency overlaps link latency even on one core, while CPU-bound
@@ -66,6 +73,7 @@ func main() {
 		sf       = flag.Float64("sf", 0.001, "TPC-H scale factor")
 		seed     = flag.Int64("seed", 99, "data generator seed")
 		paillier = flag.Int("paillier-bits", 128, "Paillier prime size in bits")
+		cworkers = flag.Int("cryptoworkers", 0, "intra-batch crypto worker pool size (0 = GOMAXPROCS, negative disables)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		clients  = flag.String("clients", "1,2,4,8", "comma-separated client counts")
 		queryStr = flag.String("queries", "3,6,10", "comma-separated TPC-H query numbers")
@@ -75,6 +83,8 @@ func main() {
 		mbps     = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
 		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
 	)
+	// -paillierbits is an alias of -paillier-bits.
+	flag.IntVar(paillier, "paillierbits", *paillier, "Paillier prime size in bits (alias of -paillier-bits)")
 	flag.Parse()
 
 	clientCounts, err := parseInts(*clients)
@@ -100,17 +110,18 @@ func main() {
 	}
 
 	rep := report{
-		Scenario:     *scenario,
-		SF:           *sf,
-		Seed:         *seed,
-		PaillierBits: *paillier,
-		Queries:      queryNums,
-		BatchSize:    *batch,
-		DurationSec:  duration.Seconds(),
-		RTTMs:        float64(rtt.Milliseconds()),
-		LinkMBps:     *mbps,
-		CPUs:         runtime.NumCPU(),
-		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Scenario:      *scenario,
+		SF:            *sf,
+		Seed:          *seed,
+		PaillierBits:  *paillier,
+		Queries:       queryNums,
+		BatchSize:     *batch,
+		CryptoWorkers: *cworkers,
+		DurationSec:   duration.Seconds(),
+		RTTMs:         float64(rtt.Milliseconds()),
+		LinkMBps:      *mbps,
+		CPUs:          runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 	}
 	var delay *distsim.LinkDelay
 	if *rtt > 0 {
@@ -120,14 +131,17 @@ func main() {
 	configs := []struct {
 		name          string
 		materializing bool
+		valueCrypto   bool
 		cached        bool
 		stream        bool
 	}{
-		{"materializing-cold", true, false, false},
-		{"batch-cold", false, false, false},
-		{"materializing-cached", true, true, false},
-		{"batch-cached", false, true, false},
-		{"batch-stream-cached", false, true, true},
+		{"materializing-cold", true, false, false, false},
+		{"batch-valuecrypto-cold", false, true, false, false},
+		{"batch-cold", false, false, false, false},
+		{"materializing-cached", true, false, true, false},
+		{"batch-valuecrypto-cached", false, true, true, false},
+		{"batch-cached", false, false, true, false},
+		{"batch-stream-cached", false, false, true, true},
 	}
 	for _, c := range configs {
 		if c.stream && !*stream {
@@ -135,8 +149,10 @@ func main() {
 		}
 		cfg := engine.TPCHConfig(tpch.Scenario(*scenario), *sf, *seed)
 		cfg.Materializing = c.materializing
+		cfg.ValueCrypto = c.valueCrypto
 		cfg.BatchSize = *batch
 		cfg.PaillierBits = *paillier
+		cfg.CryptoWorkers = *cworkers
 		cfg.LinkDelay = delay
 		if !c.cached {
 			cfg.CacheSize = -1

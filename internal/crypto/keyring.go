@@ -5,9 +5,12 @@ import (
 	"sync"
 )
 
-// DefaultPaillierBits is the prime size used for Paillier key pairs outside
-// tests (a 1024-bit modulus; the paper's tool estimated Paillier costs from
-// common benchmarks, and the cost model carries the computational factors).
+// DefaultPaillierBits is the per-prime size in bits used for Paillier key
+// pairs outside tests: 512-bit primes p and q, giving a 1024-bit modulus
+// n = p·q (GeneratePaillier takes the prime size, not the modulus size; the
+// paper's tool estimated Paillier costs from common benchmarks at this
+// modulus, and the cost model carries the computational factors). Override
+// it per deployment through engine.Config.PaillierBits.
 const DefaultPaillierBits = 512
 
 // KeyRing holds the key material of one query-plan key (Definition 6.1):
@@ -15,15 +18,30 @@ const DefaultPaillierBits = 512
 // schemes derive subkeys, plus a Paillier key pair for additive aggregation.
 // A KeyRing may be public-only (Paillier public part, no symmetric master),
 // modelling a provider that can add ciphertexts but decrypt nothing.
+//
+// The derived ciphers — subkey HKDF and AES key schedule included — are
+// built once on first use and cached, so the batch encrypt/decrypt path
+// pays only an atomic load per column thereafter.
 type KeyRing struct {
 	ID     string
 	Master []byte
 	PK     *Paillier
 
-	mu  sync.Mutex
-	det *Deterministic
-	rnd *Randomized
-	ope *OPE
+	detOnce onceCell[*Deterministic]
+	rndOnce onceCell[*Randomized]
+	opeOnce onceCell[*OPE]
+}
+
+// onceCell caches a lazily-constructed cipher with its construction error.
+type onceCell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *onceCell[T]) get(build func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = build() })
+	return c.val, c.err
 }
 
 // NewKeyRing generates the key material for one query-plan key.
@@ -48,51 +66,36 @@ func (k *KeyRing) Public() *KeyRing {
 // CanDecrypt reports whether the ring holds symmetric key material.
 func (k *KeyRing) CanDecrypt() bool { return len(k.Master) == KeySize }
 
-// Det returns the deterministic cipher of the ring.
+// Det returns the deterministic cipher of the ring, built (subkey
+// derivation and AES key schedule) once on first use.
 func (k *KeyRing) Det() (*Deterministic, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.det == nil {
+	return k.detOnce.get(func() (*Deterministic, error) {
 		if !k.CanDecrypt() {
 			return nil, fmt.Errorf("crypto: key %s: no symmetric material", k.ID)
 		}
-		d, err := NewDeterministic(k.Master)
-		if err != nil {
-			return nil, err
-		}
-		k.det = d
-	}
-	return k.det, nil
+		return NewDeterministic(k.Master)
+	})
 }
 
-// Rnd returns the randomized cipher of the ring.
+// Rnd returns the randomized cipher of the ring, built once on first use.
 func (k *KeyRing) Rnd() (*Randomized, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.rnd == nil {
+	return k.rndOnce.get(func() (*Randomized, error) {
 		if !k.CanDecrypt() {
 			return nil, fmt.Errorf("crypto: key %s: no symmetric material", k.ID)
 		}
-		r, err := NewRandomized(k.Master)
-		if err != nil {
-			return nil, err
-		}
-		k.rnd = r
-	}
-	return k.rnd, nil
+		return NewRandomized(k.Master)
+	})
 }
 
-// OPE returns the order-preserving cipher of the ring.
+// OPE returns the order-preserving cipher of the ring, built once on first
+// use.
 func (k *KeyRing) OPE() (*OPE, error) {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.ope == nil {
+	return k.opeOnce.get(func() (*OPE, error) {
 		if !k.CanDecrypt() {
 			return nil, fmt.Errorf("crypto: key %s: no symmetric material", k.ID)
 		}
-		k.ope = NewOPE(k.Master)
-	}
-	return k.ope, nil
+		return NewOPE(k.Master), nil
+	})
 }
 
 // KeyStore maps key identifiers to rings: the keys a given subject has been

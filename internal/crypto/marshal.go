@@ -36,7 +36,14 @@ func (k *KeyRing) Marshal() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// UnmarshalKeyRing reverses Marshal.
+// maxWireModulusBits bounds the Paillier modulus accepted off the wire, so
+// a hostile blob cannot make the receiver allocate or exponentiate against
+// an absurd group.
+const maxWireModulusBits = 1 << 14
+
+// UnmarshalKeyRing reverses Marshal, validating the material before any of
+// it can reach a cipher: a malformed blob yields an error, never a ring
+// that panics or loops on use.
 func UnmarshalKeyRing(data []byte) (*KeyRing, error) {
 	var w wireRing
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
@@ -45,14 +52,32 @@ func UnmarshalKeyRing(data []byte) (*KeyRing, error) {
 	if w.ID == "" {
 		return nil, fmt.Errorf("crypto: unmarshaling key ring: empty id")
 	}
+	if len(w.Master) != 0 && len(w.Master) != KeySize {
+		return nil, fmt.Errorf("crypto: unmarshaling key ring %s: master key of %d bytes", w.ID, len(w.Master))
+	}
 	ring := &KeyRing{ID: w.ID, Master: w.Master}
 	if w.N != nil {
+		switch {
+		case w.N.Sign() <= 0 || w.N.Cmp(big.NewInt(3)) <= 0:
+			return nil, fmt.Errorf("crypto: unmarshaling key ring %s: degenerate Paillier modulus", w.ID)
+		case w.N.BitLen() > maxWireModulusBits:
+			return nil, fmt.Errorf("crypto: unmarshaling key ring %s: Paillier modulus of %d bits", w.ID, w.N.BitLen())
+		case (w.Lambda == nil) != (w.Mu == nil):
+			return nil, fmt.Errorf("crypto: unmarshaling key ring %s: partial Paillier private key", w.ID)
+		}
 		pk := &Paillier{
 			N:  w.N,
 			N2: new(big.Int).Mul(w.N, w.N),
 			G:  new(big.Int).Add(w.N, big.NewInt(1)),
 		}
 		if w.Lambda != nil && w.Mu != nil {
+			// Both private scalars are < n for well-formed keys; bounding
+			// them keeps a hostile blob from smuggling a multi-megabit
+			// exponent into every Decrypt.
+			if w.Lambda.Sign() <= 0 || w.Mu.Sign() <= 0 ||
+				w.Lambda.BitLen() > w.N.BitLen() || w.Mu.BitLen() > w.N.BitLen() {
+				return nil, fmt.Errorf("crypto: unmarshaling key ring %s: malformed Paillier private part", w.ID)
+			}
 			pk.lambda, pk.mu = w.Lambda, w.Mu
 		}
 		ring.PK = pk

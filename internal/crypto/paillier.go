@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync"
+	"sync/atomic"
 )
 
 // Paillier implements the Paillier cryptosystem: public-key encryption with
@@ -21,6 +23,11 @@ type Paillier struct {
 	// Private key (nil on a public-only copy).
 	lambda *big.Int // lcm(p-1, q-1)
 	mu     *big.Int // (L(g^λ mod n²))⁻¹ mod n
+
+	// Precomputation state (fixed-base randomizer table and pool), built
+	// lazily; see paillier_precomp.go.
+	preMu sync.Mutex
+	pre   atomic.Pointer[paillierPrecomp]
 }
 
 // ErrNoPrivateKey reports a decryption attempted with a public-only key.
@@ -95,23 +102,16 @@ func (p *Paillier) Encrypt(m *big.Int) (*big.Int, error) {
 	if new(big.Int).Abs(m).Cmp(half) >= 0 {
 		return nil, fmt.Errorf("crypto: paillier: message magnitude exceeds n/2")
 	}
-	// r uniform in [1, n) with gcd(r, n) = 1.
-	var r *big.Int
-	for {
-		var err error
-		r, err = rand.Int(rand.Reader, p.N)
-		if err != nil {
-			return nil, err
-		}
-		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, p.N).Cmp(big.NewInt(1)) == 0 {
-			break
-		}
+	// r^n mod n² for a fresh randomizer r: pooled/fixed-base when the key
+	// has been precomputed, else the textbook full-width exponentiation.
+	rn, err := p.randomizer()
+	if err != nil {
+		return nil, err
 	}
 	// c = g^m · r^n mod n²; with g = n+1, g^m = 1 + m·n mod n².
 	gm := new(big.Int).Mul(p.encodeSigned(m), p.N)
 	gm.Add(gm, big.NewInt(1))
 	gm.Mod(gm, p.N2)
-	rn := new(big.Int).Exp(r, p.N, p.N2)
 	c := new(big.Int).Mul(gm, rn)
 	c.Mod(c, p.N2)
 	return c, nil

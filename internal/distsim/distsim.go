@@ -73,6 +73,12 @@ type Network struct {
 	// executors evaluate row at a time and ExecuteParallel ships complete
 	// sub-results. Kept as the equivalence oracle and benchmark baseline.
 	Materializing bool
+	// CryptoWorkers sizes the intra-batch crypto worker pool of every
+	// subject executor (0 = GOMAXPROCS, negative disables).
+	CryptoWorkers int
+	// ValueCrypto forces subject executors onto the per-value crypto path
+	// (the batched-crypto equivalence oracle and benchmark baseline).
+	ValueCrypto bool
 	// Transfers is the ledger of inter-subject shipments, in completion
 	// order. ledgerMu guards appends from concurrent fragment workers;
 	// reading the ledger is safe once execution has completed.
@@ -134,11 +140,15 @@ func (nw *Network) Clone() *Network {
 		Delay:         nw.Delay,
 		BatchSize:     nw.BatchSize,
 		Materializing: nw.Materializing,
+		CryptoWorkers: nw.CryptoWorkers,
+		ValueCrypto:   nw.ValueCrypto,
 	}
 	for s, e := range nw.subjects {
 		ce := e.Clone()
 		ce.BatchSize = nw.BatchSize
 		ce.Materializing = nw.Materializing
+		ce.CryptoWorkers = nw.CryptoWorkers
+		ce.ValueCrypto = nw.ValueCrypto
 		c.subjects[s] = ce
 	}
 	return c
@@ -211,6 +221,8 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 		ex.Consts = consts
 		ex.BatchSize = nw.BatchSize
 		ex.Materializing = nw.Materializing
+		ex.CryptoWorkers = nw.CryptoWorkers
+		ex.ValueCrypto = nw.ValueCrypto
 		for name, fn := range nw.UDFs {
 			ex.UDFs[name] = fn
 		}

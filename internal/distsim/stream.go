@@ -76,6 +76,8 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 		c.Consts = consts
 		c.Materializing = false
 		c.BatchSize = nw.BatchSize
+		c.CryptoWorkers = nw.CryptoWorkers
+		c.ValueCrypto = nw.ValueCrypto
 		c.Sources = make(map[algebra.Node]exec.Operator, len(f.inputs))
 		clones[i] = c
 	}

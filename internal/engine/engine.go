@@ -62,9 +62,18 @@ type Config struct {
 	// StorageRings are pre-established at-rest encryption rings for
 	// outsourced relations, handed out instead of fresh rings.
 	StorageRings []*crypto.KeyRing
-	// PaillierBits sizes the homomorphic key pairs; 0 means
-	// crypto.DefaultPaillierBits.
+	// PaillierBits is the per-prime size in bits of the homomorphic key
+	// pairs generated for query-plan keys (the modulus is twice as wide);
+	// 0 means crypto.DefaultPaillierBits.
 	PaillierBits int
+	// CryptoWorkers sizes the intra-batch crypto worker pool used by the
+	// encrypt/decrypt operators and user-side finalization on large
+	// batches: 0 means GOMAXPROCS, negative disables the pool.
+	CryptoWorkers int
+	// ValueCrypto forces the per-value crypto path inside the batch
+	// pipeline (one EncryptValue/DecryptValue call per cell): the batched
+	// crypto engine's equivalence oracle and benchmark baseline.
+	ValueCrypto bool
 	// LinkDelay, when set, simulates wide-area link latency on every
 	// inter-subject transfer (see distsim.LinkDelay).
 	LinkDelay *distsim.LinkDelay
@@ -335,6 +344,8 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 	nw.Delay = e.cfg.LinkDelay
 	nw.BatchSize = e.cfg.BatchSize
 	nw.Materializing = e.cfg.Materializing
+	nw.CryptoWorkers = e.cfg.CryptoWorkers
+	nw.ValueCrypto = e.cfg.ValueCrypto
 	for name, fn := range e.cfg.UDFs {
 		nw.UDFs[name] = fn
 	}
@@ -379,6 +390,8 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 func (e *Engine) finalize(pq *preparedQuery, got *exec.Table) (*exec.Table, []string, error) {
 	f := exec.NewExecutor()
 	f.Keys = pq.keys
+	f.CryptoWorkers = e.cfg.CryptoWorkers
+	f.ValueCrypto = e.cfg.ValueCrypto
 	dec, err := f.DecryptTable(got)
 	if err != nil {
 		return nil, nil, err

@@ -92,6 +92,8 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 
 	fin := exec.NewExecutor()
 	fin.Keys = pq.keys
+	fin.CryptoWorkers = e.cfg.CryptoWorkers
+	fin.ValueCrypto = e.cfg.ValueCrypto
 	indices := make([]int, len(pq.plan.Output))
 	for i, oc := range pq.plan.Output {
 		indices[i] = oc.Index

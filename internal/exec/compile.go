@@ -261,7 +261,7 @@ func (e *Executor) buildEncrypt(enc *algebra.Encrypt) (Operator, error) {
 		}
 		cols = append(cols, encCol{attr: a, scheme: scheme, ring: ring, idx: idx})
 	}
-	return &encryptOp{child: child, cols: cols}, nil
+	return &encryptOp{child: child, e: e, cols: cols}, nil
 }
 
 func (e *Executor) buildDecrypt(dec *algebra.Decrypt) (Operator, error) {

@@ -44,6 +44,15 @@ type Executor struct {
 	// evaluator instead of the batch pipeline. It is kept as the reference
 	// oracle for equivalence tests and as the benchmark baseline.
 	Materializing bool
+	// CryptoWorkers sizes the intra-batch worker pool of the encrypt and
+	// decrypt operators: 0 means GOMAXPROCS, negative disables the pool.
+	// Small batches never fan out regardless.
+	CryptoWorkers int
+	// ValueCrypto forces the batch pipeline's encrypt/decrypt operators
+	// onto the per-value crypto path (EncryptValue/DecryptValue per cell):
+	// the equivalence oracle and benchmark baseline for the batched crypto
+	// engine.
+	ValueCrypto bool
 }
 
 // ConstCache maps value-comparison conditions to their encrypted literals.
@@ -79,6 +88,8 @@ func (e *Executor) Clone() *Executor {
 		Materialized:  make(map[algebra.Node]*Table),
 		BatchSize:     e.BatchSize,
 		Materializing: e.Materializing,
+		CryptoWorkers: e.CryptoWorkers,
+		ValueCrypto:   e.ValueCrypto,
 	}
 }
 

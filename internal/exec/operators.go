@@ -314,10 +314,12 @@ func (g *groupByOp) add(acc *groupAcc, v Value) error {
 				return err
 			}
 			if acc.phe == nil {
-				acc.phe = v.C.Phe
+				// Copy: the accumulator owns its sum so AddTo can
+				// accumulate in place without a per-row allocation.
+				acc.phe = new(big.Int).Set(v.C.Phe)
 				acc.pheC = v.C
 			} else {
-				acc.phe = ring.PK.Add(acc.phe, v.C.Phe)
+				ring.PK.AddTo(acc.phe, v.C.Phe)
 			}
 			return nil
 		}
@@ -527,13 +529,21 @@ type encCol struct {
 
 type encryptOp struct {
 	child Operator
+	e     *Executor
 	cols  []encCol
+
+	colBuf []Value // reused column gather buffer
 }
 
 func (o *encryptOp) Schema() []algebra.Attr { return o.child.Schema() }
 func (o *encryptOp) Open() error            { return o.child.Open() }
 func (o *encryptOp) Close() error           { return o.child.Close() }
 
+// Next encrypts column-wise: each attribute's cells are gathered into one
+// slice and handed to the batch crypto API (cipher state resolved once,
+// outputs arena-allocated, large columns fanned out to the worker pool)
+// instead of one EncryptValue call per cell. The ValueCrypto knob keeps the
+// per-value path as the equivalence oracle and benchmark baseline.
 func (o *encryptOp) Next() (*Batch, error) {
 	b, err := o.child.Next()
 	if b == nil || err != nil {
@@ -541,20 +551,44 @@ func (o *encryptOp) Next() (*Batch, error) {
 	}
 	out := make([][]Value, len(b.Rows))
 	for ri, row := range b.Rows {
-		nr := append(make([]Value, 0, len(row)), row...)
-		for _, c := range o.cols {
-			for _, ci := range c.idx {
+		out[ri] = append(make([]Value, 0, len(row)), row...)
+	}
+	if o.e.ValueCrypto {
+		for _, nr := range out {
+			for _, c := range o.cols {
+				for _, ci := range c.idx {
+					if nr[ci].IsCipher() {
+						return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
+					}
+					cv, err := EncryptValue(c.ring, c.scheme, nr[ci])
+					if err != nil {
+						return nil, fmt.Errorf("exec: encrypting %s: %w", c.attr, err)
+					}
+					nr[ci] = cv
+				}
+			}
+		}
+		return &Batch{Rows: out}, nil
+	}
+	if cap(o.colBuf) < len(out) {
+		o.colBuf = make([]Value, len(out))
+	}
+	col := o.colBuf[:len(out)]
+	for _, c := range o.cols {
+		for _, ci := range c.idx {
+			for ri, nr := range out {
 				if nr[ci].IsCipher() {
 					return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
 				}
-				cv, err := EncryptValue(c.ring, c.scheme, nr[ci])
-				if err != nil {
-					return nil, fmt.Errorf("exec: encrypting %s: %w", c.attr, err)
-				}
-				nr[ci] = cv
+				col[ri] = nr[ci]
+			}
+			if err := encryptColumnPar(o.e, c.ring, c.scheme, col, col); err != nil {
+				return nil, fmt.Errorf("exec: encrypting %s: %w", c.attr, err)
+			}
+			for ri, nr := range out {
+				nr[ci] = col[ri]
 			}
 		}
-		out[ri] = nr
 	}
 	return &Batch{Rows: out}, nil
 }
@@ -588,6 +622,10 @@ func (o *decryptOp) ring(keyID string) (*crypto.KeyRing, error) {
 	return r, nil
 }
 
+// Next decrypts column-wise: the designated attributes' cells are grouped
+// by scheme and key and each group decrypts through one batched call, with
+// large groups fanned out to the worker pool. The ValueCrypto knob keeps
+// the per-value path as the equivalence oracle and benchmark baseline.
 func (o *decryptOp) Next() (*Batch, error) {
 	b, err := o.child.Next()
 	if b == nil || err != nil {
@@ -595,25 +633,42 @@ func (o *decryptOp) Next() (*Batch, error) {
 	}
 	out := make([][]Value, len(b.Rows))
 	for ri, row := range b.Rows {
-		nr := append(make([]Value, 0, len(row)), row...)
-		for _, c := range o.cols {
-			for _, ci := range c.idx {
-				v := nr[ci]
-				if !v.IsCipher() {
-					return nil, fmt.Errorf("exec: decrypting plaintext %s", c.attr)
+		out[ri] = append(make([]Value, 0, len(row)), row...)
+	}
+	if o.e.ValueCrypto {
+		for _, nr := range out {
+			for _, c := range o.cols {
+				for _, ci := range c.idx {
+					v := nr[ci]
+					if !v.IsCipher() {
+						return nil, fmt.Errorf("exec: decrypting plaintext %s", c.attr)
+					}
+					ring, err := o.ring(v.C.KeyID)
+					if err != nil {
+						return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
+					}
+					pv, err := decryptCipher(ring, v.C)
+					if err != nil {
+						return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
+					}
+					nr[ci] = pv
 				}
-				ring, err := o.ring(v.C.KeyID)
-				if err != nil {
-					return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
-				}
-				pv, err := decryptCipher(ring, v.C)
-				if err != nil {
-					return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
-				}
-				nr[ci] = pv
 			}
 		}
-		out[ri] = nr
+		return &Batch{Rows: out}, nil
+	}
+	for _, c := range o.cols {
+		for _, nr := range out {
+			for _, ci := range c.idx {
+				if !nr[ci].IsCipher() {
+					return nil, fmt.Errorf("exec: decrypting plaintext %s", c.attr)
+				}
+			}
+		}
+		groups := groupCipherCells(out, c.idx)
+		if err := o.e.decryptGroups(groups, out, o.ring); err != nil {
+			return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
+		}
 	}
 	return &Batch{Rows: out}, nil
 }

@@ -106,22 +106,10 @@ func (e errStr) Error() string { return string(e) }
 // DecryptRows is the streaming counterpart of Executor.DecryptTable: it
 // returns a copy of the rows with every ciphertext decrypted using ex's
 // keys, leaving the input batch untouched (it may alias upstream storage).
+// Decryption runs on the executor's batched crypto path — ciphers grouped
+// by scheme and key, one batched call per group, large batches fanned out
+// to the crypto worker pool (or per value under the ValueCrypto oracle
+// knob).
 func DecryptRows(ex *exec.Executor, rows [][]exec.Value) ([][]exec.Value, error) {
-	out := make([][]exec.Value, len(rows))
-	for ri, row := range rows {
-		nr := make([]exec.Value, len(row))
-		for ci, v := range row {
-			if v.IsCipher() {
-				pv, err := ex.DecryptValue(v.C)
-				if err != nil {
-					return nil, err
-				}
-				nr[ci] = pv
-			} else {
-				nr[ci] = v
-			}
-		}
-		out[ri] = nr
-	}
-	return out, nil
+	return ex.DecryptRows(rows)
 }

@@ -38,24 +38,14 @@ func (e *Executor) RunPlan(p *planner.Plan) (*Table, []string, error) {
 // the executor holds keys for decrypted. This is the user-side finalization
 // step: the querying user receives the (possibly encrypted) result of the
 // root fragment and decrypts it with the query-plan keys before consuming
-// it.
+// it. Decryption runs on the batched path (DecryptRows): ciphers grouped by
+// scheme and key, one batched call per group.
 func (e *Executor) DecryptTable(t *Table) (*Table, error) {
-	out := NewTable(t.Schema)
-	out.Rows = make([][]Value, len(t.Rows))
-	for ri, row := range t.Rows {
-		nr := make([]Value, len(row))
-		for ci, v := range row {
-			if v.IsCipher() {
-				pv, err := e.DecryptValue(v.C)
-				if err != nil {
-					return nil, err
-				}
-				nr[ci] = pv
-			} else {
-				nr[ci] = v
-			}
-		}
-		out.Rows[ri] = nr
+	rows, err := e.DecryptRows(t.Rows)
+	if err != nil {
+		return nil, err
 	}
+	out := NewTable(t.Schema)
+	out.Rows = rows
 	return out, nil
 }

@@ -113,6 +113,43 @@ func encodePlain(v Value) ([]byte, error) {
 	return nil, fmt.Errorf("exec: cannot encode %v", v)
 }
 
+// plainSize returns the encoded size of a plaintext value, so batch
+// encryption can pre-size one arena for a whole column.
+func plainSize(v Value) (int, error) {
+	switch v.Kind {
+	case KInt, KFloat:
+		return 9, nil
+	case KString:
+		return 1 + len(v.S), nil
+	case KNull:
+		return 1, nil
+	}
+	return 0, fmt.Errorf("exec: cannot encode %v", v)
+}
+
+// writePlain writes the encodePlain encoding of v into buf, which must be
+// exactly plainSize(v) bytes (an arena slot).
+func writePlain(buf []byte, v Value) error {
+	switch v.Kind {
+	case KInt:
+		buf[0] = byte(KInt)
+		binary.BigEndian.PutUint64(buf[1:], uint64(v.I))
+		return nil
+	case KFloat:
+		buf[0] = byte(KFloat)
+		binary.BigEndian.PutUint64(buf[1:], math.Float64bits(v.F))
+		return nil
+	case KString:
+		buf[0] = byte(KString)
+		copy(buf[1:], v.S)
+		return nil
+	case KNull:
+		buf[0] = byte(KNull)
+		return nil
+	}
+	return fmt.Errorf("exec: cannot encode %v", v)
+}
+
 // decodePlain reverses encodePlain.
 func decodePlain(b []byte) (Value, error) {
 	if len(b) == 0 {
