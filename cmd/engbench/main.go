@@ -1,18 +1,21 @@
 // Command engbench measures closed-loop engine throughput: N client
 // goroutines issue TPC-H queries back-to-back against one engine, and the
 // harness reports queries/sec and mean latency per configuration — the
-// batch-streaming pipeline vs the legacy materializing interior and vs the
-// batch pipeline with per-value crypto forced (batch-valuecrypto-*,
-// isolating the batched crypto engine on encrypted scenarios), with cold
-// (cache disabled, every query re-runs the full authorize/extend/assign/key
-// pipeline) vs cached (authorized plans reused) planning. With -stream it
-// additionally drives Engine.QueryStream and reports mean time-to-first-row
-// next to full latency. -paillierbits (alias -paillier-bits) sizes the
-// Paillier primes and -cryptoworkers the intra-batch crypto worker pool.
-// Results are written as JSON (BENCH_engine.json in the repo records the
-// measured comparison).
+// columnar batch-streaming pipeline vs the legacy materializing interior
+// and vs the batch pipeline with per-value crypto forced
+// (batch-valuecrypto-*, isolating the batched crypto engine on encrypted
+// scenarios), with cold (cache disabled, every query re-runs the full
+// authorize/extend/assign/key pipeline) vs cached (authorized plans
+// reused) planning. With -stream it additionally drives Engine.QueryStream
+// and reports mean time-to-first-row next to full latency. With -interior
+// it also records the centralized interior microbenchmark (columnar
+// pipeline vs row-at-a-time oracle per query, no distribution or planning
+// in the way). -paillier-bits (alias -paillierbits) sizes the Paillier
+// primes and -cryptoworkers the intra-batch crypto worker pool. Results
+// are written as JSON (BENCH_engine.json in the repo records the measured
+// comparison; docs/BENCHMARKS.md explains every cell).
 //
-//	engbench -scenario UAPenc -sf 0.001 -duration 3s -clients 1,2 -out BENCH_engine.json
+//	engbench -scenario UAPenc -sf 0.001 -duration 3s -clients 1,2 -interior -out BENCH_engine.json
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"mpq/internal/distsim"
 	"mpq/internal/engine"
 	"mpq/internal/exec"
+	"mpq/internal/planner"
 	"mpq/internal/tpch"
 )
 
@@ -65,6 +69,18 @@ type report struct {
 	CPUs       int     `json:"cpus"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
 	Results    []cell  `json:"results"`
+	// Interior holds the centralized interior microbenchmark (-interior):
+	// per query, mean plan-execution latency of the columnar batch
+	// pipeline vs the row-at-a-time materializing oracle on plaintext
+	// tables, with no distribution, crypto, planning, or link simulation.
+	Interior []interiorCell `json:"interior,omitempty"`
+}
+
+type interiorCell struct {
+	Query  int     `json:"query"`
+	Config string  `json:"config"` // "row-oracle" or "columnar"
+	Runs   int     `json:"runs"`
+	MeanMs float64 `json:"mean_ms"`
 }
 
 func main() {
@@ -77,8 +93,9 @@ func main() {
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per cell")
 		clients  = flag.String("clients", "1,2,4,8", "comma-separated client counts")
 		queryStr = flag.String("queries", "3,6,10", "comma-separated TPC-H query numbers")
-		batch    = flag.Int("batch", 0, "pipeline batch size in rows (0 = default)")
+		batch    = flag.Int("batch", 0, fmt.Sprintf("pipeline batch size in rows (0 = default %d)", exec.DefaultBatchSize))
 		stream   = flag.Bool("stream", false, "also measure Engine.QueryStream (time-to-first-row)")
+		interior = flag.Bool("interior", false, "also record the centralized interior microbenchmark (columnar vs row oracle)")
 		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
 		mbps     = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
 		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
@@ -180,6 +197,10 @@ func main() {
 		}
 	}
 
+	if *interior {
+		rep.Interior = measureInterior(*sf, *seed, queryNums, *duration)
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -193,6 +214,54 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("engbench: wrote %s\n", *out)
+}
+
+// measureInterior times centralized plan execution per query for the
+// columnar batch pipeline and the row-at-a-time materializing oracle on
+// plaintext TPC-H tables: the interior-only comparison, one warmup run and
+// then as many runs as fit in the measurement window.
+func measureInterior(sf float64, seed int64, nums []int, window time.Duration) []interiorCell {
+	cat := tpch.Catalog(sf)
+	tables := tpch.Generate(sf, seed)
+	pl := planner.New(cat)
+	var out []interiorCell
+	for _, num := range nums {
+		var sqlText string
+		for _, q := range tpch.Queries() {
+			if q.Num == num {
+				sqlText = q.SQL
+			}
+		}
+		plan, err := pl.PlanSQL(sqlText)
+		if err != nil {
+			log.Fatalf("engbench: interior Q%d: %v", num, err)
+		}
+		for _, mode := range []struct {
+			name string
+			mat  bool
+		}{{"row-oracle", true}, {"columnar", false}} {
+			e := exec.NewExecutor()
+			e.Materializing = mode.mat
+			for name, t := range tables {
+				e.Tables[name] = t
+			}
+			if _, _, err := e.RunPlan(plan); err != nil { // warmup
+				log.Fatalf("engbench: interior Q%d: %v", num, err)
+			}
+			runs := 0
+			start := time.Now()
+			for time.Since(start) < window {
+				if _, _, err := e.RunPlan(plan); err != nil {
+					log.Fatalf("engbench: interior Q%d: %v", num, err)
+				}
+				runs++
+			}
+			meanMs := time.Since(start).Seconds() * 1000 / float64(runs)
+			out = append(out, interiorCell{Query: num, Config: mode.name, Runs: runs, MeanMs: meanMs})
+			log.Printf("interior %-10s Q%02d  %4d runs  %8.2f ms/run", mode.name, num, runs, meanMs)
+		}
+	}
+	return out
 }
 
 // run drives the closed loop: clients goroutines issue the query mix

@@ -1,11 +1,3 @@
-// Package crypto implements the four encryption techniques of the paper's
-// experimental setup (Section 7): randomized symmetric encryption (AES-CTR
-// with a random nonce), deterministic symmetric encryption (AES-CTR with a
-// synthetic nonce derived by HMAC, enabling equality over ciphertexts), a
-// Paillier cryptosystem (additive homomorphism for sum/avg aggregation over
-// ciphertexts), and an order-preserving encryption scheme (range conditions
-// over ciphertexts). The package also derives per-cluster key material for
-// the query-plan keys of Definition 6.1.
 package crypto
 
 import (

@@ -1,11 +1,3 @@
-// Package distsim simulates the distributed execution of an extended,
-// assigned query plan across subjects: each subject runs its operations on
-// its own executor (holding only its tables and the keys distributed to it
-// per Definition 6.1), sub-results travel over accounted network links, and
-// providers operating on encrypted data receive Paillier public parts and
-// pre-encrypted predicate constants — never decryption keys. The simulation
-// verifies end to end that the authorization-driven extension computes the
-// same answers as a trusted centralized execution.
 package distsim
 
 import (
@@ -282,13 +274,51 @@ func (nw *Network) BytesBetween(from, to authz.Subject) int64 {
 // string lengths, ciphertext lengths, Paillier group element sizes.
 func tableBytes(t *exec.Table) int64 { return rowsBytes(t.Rows) }
 
-// rowsBytes measures the encoded size of a batch of rows (the streaming
-// runtime accounts every shipped batch with it).
+// rowsBytes measures the encoded size of a batch of rows.
 func rowsBytes(rows [][]exec.Value) int64 {
 	var total int64
 	for _, row := range rows {
 		for _, v := range row {
 			total += valueBytes(v)
+		}
+	}
+	return total
+}
+
+// batchBytes measures the encoded size of a columnar batch without
+// materializing rows: the streaming runtime accounts every shipped batch
+// with it. Cell for cell it matches rowsBytes over the same logical rows,
+// so streaming and materializing runs ledger identical byte counts.
+func batchBytes(b *exec.Batch) int64 {
+	var total int64
+	for ci := range b.Cols {
+		c := &b.Cols[ci]
+		switch c.Kind {
+		case exec.ColInt, exec.ColFloat:
+			total += 8 * int64(b.N)
+			if c.Nulls != nil {
+				for i := 0; i < b.N; i++ {
+					if c.IsNull(i) {
+						total -= 7 // a NULL cell encodes as 1 byte, not 8
+					}
+				}
+			}
+		case exec.ColStr:
+			for i, s := range c.Strs {
+				if c.IsNull(i) {
+					total++
+				} else {
+					total += int64(len(s))
+				}
+			}
+		case exec.ColCipherBytes:
+			for _, d := range c.Bytes {
+				total += int64(len(d))
+			}
+		default:
+			for i := range c.Vals {
+				total += valueBytes(c.Vals[i])
+			}
 		}
 	}
 	return total

@@ -1,0 +1,23 @@
+// Package distsim simulates the distributed execution of an extended,
+// assigned query plan across subjects: each subject runs its operations on
+// its own executor (holding only its tables and the keys distributed to it
+// per Definition 6.1), sub-results travel over accounted network links, and
+// providers operating on encrypted data receive Paillier public parts and
+// pre-encrypted predicate constants — never decryption keys. The simulation
+// verifies end to end that the authorization-driven extension computes the
+// same answers as a trusted centralized execution.
+//
+// Three runtimes execute one prepared Network:
+//
+//   - Execute: sequential, fragment by fragment, materializing each
+//     sub-result before shipping it (the reference runtime).
+//   - ExecuteStream: one worker goroutine per fragment, exchanging columnar
+//     exec.Batch values over bounded channels; transfer latency overlaps
+//     upstream computation batch by batch, and the ledger accounts each
+//     edge's bytes per shipped batch (batchBytes walks the column vectors).
+//   - ExecuteParallel: ExecuteStream with the root materialized back into a
+//     table, for callers that want the whole relation.
+//
+// See docs/ARCHITECTURE.md at the repository root for how fragments,
+// channel exchanges, and the transfer ledger fit into the full pipeline.
+package distsim

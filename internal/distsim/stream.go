@@ -140,18 +140,20 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 			var sinkErr error
 			aborted := false
 			pumpErr := pipeline.Pump(op, func(b *exec.Batch) error {
-				rows += len(b.Rows)
+				rows += b.N
 				batches++
 				if isRoot {
 					// The root's hand-off to the dispatching user is not a
-					// simulated link and is not in the ledger.
-					if err := sink(b.Rows); err != nil {
+					// simulated link and is not in the ledger: materialize
+					// the columnar batch into rows at this API boundary
+					// only.
+					if err := sink(b.Rows()); err != nil {
 						sinkErr = err
 						return err
 					}
 					return nil
 				}
-				bb := rowsBytes(b.Rows)
+				bb := batchBytes(b)
 				bytes += bb
 				// The producer bears the outbound link latency of each
 				// batch before handing it over: RTT once per edge, then

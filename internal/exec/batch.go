@@ -10,13 +10,17 @@ import (
 // the executor does not override it.
 const DefaultBatchSize = 1024
 
-// Batch is a unit of data flow in the batch pipeline: a slice of rows in
-// the producing operator's schema order. Batches returned by Next are never
-// empty, and their row slices must be treated as immutable — operators that
-// rewrite cells (encryption, decryption) copy rows before mutating, so
-// upstream batches may alias long-lived table storage with zero copies.
+// Batch is a unit of data flow in the batch pipeline: N rows stored
+// column-major as one Column per schema attribute. Batches returned by Next
+// are never empty, and their columns must be treated as immutable —
+// operators that rewrite cells (encryption, decryption) build replacement
+// columns, so projections forward input columns and scans share slices with
+// long-lived storage without copies. Row-oriented consumers convert at the
+// boundary with Rows or Row; the operator interior never materializes rows
+// on its fast paths.
 type Batch struct {
-	Rows [][]Value
+	Cols []Column
+	N    int // row count; every column holds exactly N cells
 }
 
 // Operator is one node of a compiled batch pipeline. The contract is the
@@ -35,6 +39,58 @@ type Operator interface {
 	Close() error
 }
 
+// NewBatchFromRows columnarizes a window of row-major rows: per column, the
+// cells are copied into the tightest vector layout NewColumn detects. Every
+// row must have exactly width cells.
+func NewBatchFromRows(rows [][]Value, width int) (*Batch, error) {
+	for _, r := range rows {
+		if len(r) != width {
+			return nil, fmt.Errorf("exec: row width %d != schema width %d", len(r), width)
+		}
+	}
+	b := &Batch{Cols: make([]Column, width), N: len(rows)}
+	buf := make([]Value, len(rows))
+	for ci := 0; ci < width; ci++ {
+		for ri, r := range rows {
+			buf[ri] = r[ci]
+		}
+		b.Cols[ci] = NewColumn(buf)
+	}
+	return b, nil
+}
+
+// Rows materializes the batch row-major: the conversion shim for the
+// table-oriented call sites (Drain, the distributed root sink, build sides).
+func (b *Batch) Rows() [][]Value {
+	out := make([][]Value, b.N)
+	cells := make([]Value, b.N*len(b.Cols))
+	for ri := 0; ri < b.N; ri++ {
+		row := cells[ri*len(b.Cols) : (ri+1)*len(b.Cols) : (ri+1)*len(b.Cols)]
+		for ci := range b.Cols {
+			row[ci] = b.Cols[ci].Value(ri)
+		}
+		out[ri] = row
+	}
+	return out
+}
+
+// Row materializes row i into dst, which must have len(b.Cols) cells.
+func (b *Batch) Row(i int, dst []Value) {
+	for ci := range b.Cols {
+		dst[ci] = b.Cols[ci].Value(i)
+	}
+}
+
+// Gather returns a new batch holding the selected rows, in selection order:
+// every column is gathered with its typed layout preserved.
+func (b *Batch) Gather(sel []int32) *Batch {
+	out := &Batch{Cols: make([]Column, len(b.Cols)), N: len(sel)}
+	for ci := range b.Cols {
+		out.Cols[ci] = b.Cols[ci].gather(sel)
+	}
+	return out
+}
+
 // batchSize returns the executor's configured pipeline batch size.
 func (e *Executor) batchSize() int {
 	if e.BatchSize > 0 {
@@ -44,7 +100,7 @@ func (e *Executor) batchSize() int {
 }
 
 // Drain runs a compiled pipeline to completion and materializes its output
-// as a table: the compatibility bridge between the streaming interior and
+// as a table: the compatibility bridge between the columnar interior and
 // the *Table call sites.
 func Drain(op Operator) (*Table, error) {
 	if err := op.Open(); err != nil {
@@ -61,7 +117,7 @@ func Drain(op Operator) (*Table, error) {
 		if b == nil {
 			break
 		}
-		out.Rows = append(out.Rows, b.Rows...)
+		out.Rows = append(out.Rows, b.Rows()...)
 	}
 	if err := op.Close(); err != nil {
 		return nil, err
@@ -69,9 +125,9 @@ func Drain(op Operator) (*Table, error) {
 	return out, nil
 }
 
-// tableScan streams an in-memory table in batches. With a nil projection
-// the batches alias the table's row storage (zero copies); with a
-// projection each batch holds freshly built rows.
+// tableScan streams an in-memory table in columnar batches: each Next
+// columnarizes the next window of the table's row storage (with the
+// projection, when any, applied during the transposition).
 type tableScan struct {
 	schema   []algebra.Attr
 	rows     [][]Value
@@ -79,6 +135,7 @@ type tableScan struct {
 	rawWidth int   // width every stored row must have (the table schema's)
 	batch    int
 	pos      int
+	buf      []Value // reused per-column gather buffer
 }
 
 func newTableScan(t *Table, project []int, batch int) *tableScan {
@@ -113,18 +170,22 @@ func (s *tableScan) Next() (*Batch, error) {
 			return nil, fmt.Errorf("exec: scanned row width %d != schema width %d", len(r), s.rawWidth)
 		}
 	}
-	if s.project == nil {
-		return &Batch{Rows: window}, nil
+	b := &Batch{Cols: make([]Column, len(s.schema)), N: len(window)}
+	if cap(s.buf) < len(window) {
+		s.buf = make([]Value, len(window))
 	}
-	out := make([][]Value, len(window))
-	for i, r := range window {
-		row := make([]Value, len(s.project))
-		for j, ix := range s.project {
-			row[j] = r[ix]
+	buf := s.buf[:len(window)]
+	for ci := range s.schema {
+		src := ci
+		if s.project != nil {
+			src = s.project[ci]
 		}
-		out[i] = row
+		for ri, r := range window {
+			buf[ri] = r[src]
+		}
+		b.Cols[ci] = NewColumn(buf)
 	}
-	return &Batch{Rows: out}, nil
+	return b, nil
 }
 
 // identityProjection reports whether indices is 0,1,...,n-1 over a schema

@@ -93,7 +93,7 @@ func (e *Executor) buildSelect(s *algebra.Select) (Operator, error) {
 	if err != nil {
 		return nil, err
 	}
-	pred, err := e.compilePred(s.Pred, resolverFor(child.Schema(), s.Child))
+	pred, err := e.compileColPred(s.Pred, resolverFor(child.Schema(), s.Child))
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +147,7 @@ func (e *Executor) buildJoin(j *algebra.Join) (Operator, error) {
 	if hashL < 0 {
 		// Nested loop for non-equality joins: stream the product, filter
 		// by the full condition.
-		full, err := e.compilePred(j.Cond, plainResolver(schema))
+		full, err := e.compileColPred(j.Cond, plainResolver(schema))
 		if err != nil {
 			return nil, err
 		}
@@ -166,6 +166,7 @@ func (e *Executor) buildJoin(j *algebra.Join) (Operator, error) {
 		left: l, right: r, schema: schema,
 		hashL: hashL, hashR: hashR,
 		residual: resPred, batch: e.batchSize(),
+		leftWidth: len(ls),
 	}, nil
 }
 
@@ -413,16 +414,16 @@ func (e *Executor) compilePred(p algebra.Pred, r *schemaResolver) (predFn, error
 	return nil, fmt.Errorf("exec: unknown predicate %T", p)
 }
 
-func (e *Executor) compileCmpAV(c *algebra.CmpAV, r *schemaResolver) (predFn, error) {
-	ix, err := r.colFor(c.A, c.Agg)
-	if err != nil {
-		return nil, err
-	}
+// compileCellAV compiles the cell-level core of an attribute-vs-literal
+// comparison: the encrypted-constant lookup and literal are resolved once,
+// and the returned evaluator decides one materialized cell. The row
+// compiler wraps it with a column index; the columnar compiler uses it as
+// the fallback for generic-layout columns.
+func (e *Executor) compileCellAV(c *algebra.CmpAV) cellFn {
 	konst, hasKonst := e.Consts[c]
 	rhs := litValue(c.V)
 	op := c.Op
-	return func(row []Value) (bool, error) {
-		v := row[ix]
+	return func(v Value) (bool, error) {
 		if v.IsCipher() {
 			if !hasKonst {
 				return false, fmt.Errorf("exec: no encrypted constant for condition %s (not dispatched?)", c)
@@ -457,21 +458,25 @@ func (e *Executor) compileCmpAV(c *algebra.CmpAV, r *schemaResolver) (predFn, er
 			return false, err
 		}
 		return opHolds(op, cmp), nil
+	}
+}
+
+func (e *Executor) compileCmpAV(c *algebra.CmpAV, r *schemaResolver) (predFn, error) {
+	ix, err := r.colFor(c.A, c.Agg)
+	if err != nil {
+		return nil, err
+	}
+	cell := e.compileCellAV(c)
+	return func(row []Value) (bool, error) {
+		return cell(row[ix])
 	}, nil
 }
 
-func (e *Executor) compileCmpAA(c *algebra.CmpAA, r *schemaResolver) (predFn, error) {
-	li, err := r.colFor(c.L, sql.AggNone)
-	if err != nil {
-		return nil, err
-	}
-	ri, err := r.colFor(c.R, sql.AggNone)
-	if err != nil {
-		return nil, err
-	}
+// cellAA is the cell-level core of an attribute-vs-attribute comparison,
+// shared by the row compiler and the columnar generic fallback.
+func (e *Executor) cellAA(c *algebra.CmpAA) func(l, rv Value) (bool, error) {
 	op := c.Op
-	return func(row []Value) (bool, error) {
-		l, rv := row[li], row[ri]
+	return func(l, rv Value) (bool, error) {
 		switch {
 		case l.IsCipher() && rv.IsCipher():
 			if l.C.Scheme != rv.C.Scheme {
@@ -501,5 +506,20 @@ func (e *Executor) compileCmpAA(c *algebra.CmpAA, r *schemaResolver) (predFn, er
 		default:
 			return false, fmt.Errorf("exec: mixed plaintext/ciphertext comparison %s", c)
 		}
+	}
+}
+
+func (e *Executor) compileCmpAA(c *algebra.CmpAA, r *schemaResolver) (predFn, error) {
+	li, err := r.colFor(c.L, sql.AggNone)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := r.colFor(c.R, sql.AggNone)
+	if err != nil {
+		return nil, err
+	}
+	cell := e.cellAA(c)
+	return func(row []Value) (bool, error) {
+		return cell(row[li], row[ri])
 	}, nil
 }

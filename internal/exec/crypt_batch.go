@@ -359,6 +359,168 @@ func decryptCells(ring *crypto.KeyRing, scheme algebra.Scheme, cells []cell, row
 	return nil
 }
 
+// decryptColumn decrypts one cipher column into its replacement plaintext
+// column. A ciphertext-byte column decrypts straight off its payload vector
+// — the scheme and key are column metadata, so there is nothing to group —
+// while a generic column's cells are grouped by scheme and key first.
+// Large columns fan out to the intra-batch worker pool. The caller has
+// already verified every cell is a ciphertext.
+func (e *Executor) decryptColumn(col *Column, resolve func(string) (*crypto.KeyRing, error)) (Column, error) {
+	n := col.Len()
+	vals := make([]Value, n)
+	if col.Kind == ColCipherBytes {
+		ring, err := resolve(col.KeyID)
+		if err != nil {
+			return Column{}, err
+		}
+		scheme := col.Scheme
+		err = runChunks(n, e.cryptoWorkers(), cryptoParMinCells, func(lo, hi int) error {
+			return decryptBytesInto(ring, scheme, col.Bytes[lo:hi], col.Plains[lo:hi], vals[lo:hi])
+		})
+		if err != nil {
+			return Column{}, err
+		}
+		return NewColumn(vals), nil
+	}
+	copy(vals, col.Vals)
+	// Group cell positions by scheme and key, then decrypt each group
+	// batch-wise in place.
+	type posGroup struct {
+		scheme algebra.Scheme
+		keyID  string
+		pos    []int32
+	}
+	groups := make(map[groupKeyID]*posGroup)
+	var order []*posGroup
+	for i := range vals {
+		c := vals[i].C
+		k := groupKeyID{c.Scheme, c.KeyID}
+		g, ok := groups[k]
+		if !ok {
+			g = &posGroup{scheme: c.Scheme, keyID: c.KeyID}
+			groups[k] = g
+			order = append(order, g)
+		}
+		g.pos = append(g.pos, int32(i))
+	}
+	for _, g := range order {
+		ring, err := resolve(g.keyID)
+		if err != nil {
+			return Column{}, err
+		}
+		minChunk := cryptoParMinCells
+		if g.scheme == algebra.SchemePaillier {
+			minChunk = cryptoParMinPaillier
+		}
+		err = runChunks(len(g.pos), e.cryptoWorkers(), minChunk, func(lo, hi int) error {
+			return decryptPosCells(ring, g.scheme, g.pos[lo:hi], vals)
+		})
+		if err != nil {
+			return Column{}, err
+		}
+	}
+	return NewColumn(vals), nil
+}
+
+// decryptBytesInto batch-decrypts one chunk of a ciphertext-byte column's
+// payloads into dst.
+func decryptBytesInto(ring *crypto.KeyRing, scheme algebra.Scheme, cts [][]byte, plains []Kind, dst []Value) error {
+	switch scheme {
+	case algebra.SchemeDeterministic, algebra.SchemeRandom:
+		var (
+			pts [][]byte
+			err error
+		)
+		if scheme == algebra.SchemeDeterministic {
+			d, derr := ring.Det()
+			if derr != nil {
+				return derr
+			}
+			pts, err = d.DecryptBatch(cts)
+		} else {
+			r, rerr := ring.Rnd()
+			if rerr != nil {
+				return rerr
+			}
+			pts, err = r.DecryptBatch(cts)
+		}
+		if err != nil {
+			return err
+		}
+		for i := range pts {
+			v, err := decodePlain(pts[i])
+			if err != nil {
+				return err
+			}
+			dst[i] = v
+		}
+		return nil
+	case algebra.SchemeOPE:
+		o, err := ring.OPE()
+		if err != nil {
+			return err
+		}
+		encs, err := o.DecryptBatch(cts)
+		if err != nil {
+			return err
+		}
+		for i := range encs {
+			v, err := opeDecode(encs[i], plains[i])
+			if err != nil {
+				return err
+			}
+			dst[i] = v
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown scheme %q", scheme)
+}
+
+// decryptPosCells batch-decrypts one chunk of same-scheme, same-key cells
+// of a generic column in place (pos indexes vals).
+func decryptPosCells(ring *crypto.KeyRing, scheme algebra.Scheme, pos []int32, vals []Value) error {
+	switch scheme {
+	case algebra.SchemeDeterministic, algebra.SchemeRandom, algebra.SchemeOPE:
+		cts := make([][]byte, len(pos))
+		for i, p := range pos {
+			cts[i] = vals[p].C.Data
+		}
+		var plains []Kind
+		if scheme == algebra.SchemeOPE {
+			plains = make([]Kind, len(pos))
+			for i, p := range pos {
+				plains[i] = vals[p].C.Plain
+			}
+		}
+		out := make([]Value, len(pos))
+		if err := decryptBytesInto(ring, scheme, cts, plains, out); err != nil {
+			return err
+		}
+		for i, p := range pos {
+			vals[p] = out[i]
+		}
+		return nil
+	case algebra.SchemePaillier:
+		if !ring.PK.HasPrivate() {
+			return fmt.Errorf("exec: key %s lacks the Paillier private part", ring.ID)
+		}
+		for _, p := range pos {
+			ct := vals[p].C
+			m, err := ring.PK.Decrypt(ct.Phe)
+			if err != nil {
+				return err
+			}
+			v, err := pheDecode(m, ct.Div, ct.Plain)
+			if err != nil {
+				return err
+			}
+			vals[p] = v
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown scheme %q", scheme)
+}
+
 // decryptGroups resolves each group's ring through resolve and decrypts all
 // groups in place.
 func (e *Executor) decryptGroups(groups []*cipherGroup, rows [][]Value, resolve func(string) (*crypto.KeyRing, error)) error {

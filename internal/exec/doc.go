@@ -1,0 +1,28 @@
+// Package exec is the in-memory relational execution engine for (extended)
+// query plans. It evaluates every operator of the algebra, including the
+// encryption and decryption operators and computation over encrypted
+// values: equality and grouping over deterministic ciphertexts, range
+// conditions and min/max over OPE ciphertexts, and sum/avg over Paillier
+// ciphertexts via additive homomorphism — the CryptDB/SEEED-style substrate
+// the paper's model assumes (Section 1).
+//
+// Two evaluators share the operator semantics:
+//
+//   - The columnar batch pipeline (the default): Executor.Build compiles a
+//     plan into Open/Next/Close operators exchanging Batch values — N rows
+//     stored as typed column vectors (int64, float64, string, ciphertext
+//     bytes, plus a generic Value fallback and a null bitmap). Filters
+//     narrow selection vectors over the vectors, projections forward column
+//     slices without copying, aggregation accumulates from the typed
+//     vectors, and the encrypt/decrypt operators hand whole columns to the
+//     batched crypto engine. Row-oriented callers convert only at the
+//     boundary (Drain, Batch.Rows).
+//
+//   - The legacy row-at-a-time materializing evaluator (Executor.Run with
+//     Materializing set): every operator materializes its full result and
+//     resolves references per row. It is retained as the equivalence
+//     oracle and benchmark baseline, never as a hot path.
+//
+// See docs/ARCHITECTURE.md at the repository root for the batch contract,
+// the operator inventory, and a worked end-to-end query trace.
+package exec

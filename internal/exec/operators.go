@@ -12,6 +12,9 @@ import (
 // ---------------------------------------------------------------------------
 // Projection
 
+// projectOp forwards a subset (or reordering) of its child's columns. Under
+// the columnar layout this is pure pointer shuffling: the output batch
+// shares the selected column vectors, so projection costs nothing per row.
 type projectOp struct {
 	child   Operator
 	indices []int
@@ -27,23 +30,24 @@ func (p *projectOp) Next() (*Batch, error) {
 	if b == nil || err != nil {
 		return nil, err
 	}
-	out := make([][]Value, len(b.Rows))
-	for i, r := range b.Rows {
-		row := make([]Value, len(p.indices))
-		for j, ix := range p.indices {
-			row[j] = r[ix]
-		}
-		out[i] = row
+	out := &Batch{Cols: make([]Column, len(p.indices)), N: b.N}
+	for j, ix := range p.indices {
+		out.Cols[j] = b.Cols[ix]
 	}
-	return &Batch{Rows: out}, nil
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
 // Selection
 
+// filterOp evaluates its compiled columnar predicate against each batch: the
+// predicate narrows a selection vector over the typed column vectors, and
+// survivors are gathered into a fresh batch (or the input batch is forwarded
+// untouched when every row passes).
 type filterOp struct {
 	child Operator
-	pred  predFn
+	pred  colPred
+	sel   []int32 // reused identity selection buffer
 }
 
 func (f *filterOp) Schema() []algebra.Attr { return f.child.Schema() }
@@ -56,36 +60,25 @@ func (f *filterOp) Next() (*Batch, error) {
 		if b == nil || err != nil {
 			return nil, err
 		}
-		kept := 0
-		var out [][]Value
-		for i, row := range b.Rows {
-			ok, err := f.pred(row)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			if out == nil && kept == i {
-				// Prefix of survivors so far: defer allocating.
-				kept++
-				continue
-			}
-			if out == nil {
-				out = append(make([][]Value, 0, len(b.Rows)), b.Rows[:kept]...)
-			}
-			out = append(out, row)
+		if cap(f.sel) < b.N {
+			f.sel = make([]int32, b.N)
 		}
-		if out == nil {
-			if kept == len(b.Rows) {
-				return b, nil // every row passed: forward the batch as-is
-			}
-			if kept == 0 {
-				continue
-			}
-			return &Batch{Rows: b.Rows[:kept]}, nil
+		sel := f.sel[:b.N]
+		for i := range sel {
+			sel[i] = int32(i)
 		}
-		return &Batch{Rows: out}, nil
+		sel, err = f.pred(b, sel)
+		if err != nil {
+			return nil, err
+		}
+		switch len(sel) {
+		case 0:
+			continue
+		case b.N:
+			return b, nil // every row passed: forward the batch as-is
+		default:
+			return b.Gather(sel), nil
+		}
 	}
 }
 
@@ -99,7 +92,7 @@ type productOp struct {
 	batch  int
 
 	rightRows [][]Value
-	cur       *Batch
+	curRows   [][]Value
 	li, ri    int
 }
 
@@ -114,7 +107,7 @@ func (p *productOp) Open() error {
 		return err
 	}
 	p.rightRows = t.Rows
-	p.cur, p.li, p.ri = nil, 0, 0
+	p.curRows, p.li, p.ri = nil, 0, 0
 	return nil
 }
 
@@ -138,7 +131,7 @@ func (p *productOp) Next() (*Batch, error) {
 	}
 	out := make([][]Value, 0, p.batch)
 	for {
-		if p.cur == nil {
+		if p.curRows == nil {
 			b, err := p.left.Next()
 			if err != nil {
 				return nil, err
@@ -146,23 +139,23 @@ func (p *productOp) Next() (*Batch, error) {
 			if b == nil {
 				break
 			}
-			p.cur, p.li, p.ri = b, 0, 0
+			p.curRows, p.li, p.ri = b.Rows(), 0, 0
 		}
-		out = append(out, concatRows(p.cur.Rows[p.li], p.rightRows[p.ri]))
+		out = append(out, concatRows(p.curRows[p.li], p.rightRows[p.ri]))
 		p.ri++
 		if p.ri == len(p.rightRows) {
 			p.ri = 0
 			p.li++
-			if p.li == len(p.cur.Rows) {
-				p.cur = nil
+			if p.li == len(p.curRows) {
+				p.curRows = nil
 			}
 		}
 		if len(out) == p.batch {
-			return &Batch{Rows: out}, nil
+			return NewBatchFromRows(out, len(p.schema))
 		}
 	}
 	if len(out) > 0 {
-		return &Batch{Rows: out}, nil
+		return NewBatchFromRows(out, len(p.schema))
 	}
 	return nil, nil
 }
@@ -170,18 +163,34 @@ func (p *productOp) Next() (*Batch, error) {
 // ---------------------------------------------------------------------------
 // Hash join
 
+// hashJoinOp drains and indexes its right input, then probes it batch by
+// batch: probe keys are computed from the hash column's vector (no row
+// materialization), and when the equality pair is the whole condition the
+// output batch is assembled columnar — probe-side columns typed-gathered by
+// the match selection, build-side columns transposed from the matched rows.
+// A residual condition falls back to materialized rows for its evaluation.
+// Output is emitted in at-most-batch-sized windows, so a skewed
+// many-to-many join never materializes its whole fanout at once.
 type hashJoinOp struct {
 	left, right  Operator
 	schema       []algebra.Attr
 	hashL, hashR int
 	residual     predFn // nil when the equality pair is the whole condition
 	batch        int
+	leftWidth    int
 
-	index    map[string][][]Value
-	cur      *Batch
-	li       int
-	matches  [][]Value
-	matchIdx int
+	index map[string][][]Value
+
+	// Probe cursor: the current probe batch, the next probe row, and the
+	// unconsumed matches of the last keyed row.
+	cur        *Batch
+	li         int
+	curMatches [][]Value
+	matchIdx   int
+
+	selBuf   []int32   // reused (probe row, build row) pair buffers
+	matchBuf [][]Value //
+	keyBuf   []byte
 }
 
 func (j *hashJoinOp) Schema() []algebra.Attr { return j.schema }
@@ -202,54 +211,102 @@ func (j *hashJoinOp) Open() error {
 		}
 		j.index[k] = append(j.index[k], rr)
 	}
-	j.cur, j.li, j.matches, j.matchIdx = nil, 0, nil, 0
+	j.cur, j.li, j.curMatches, j.matchIdx = nil, 0, nil, 0
 	return nil
 }
 
 func (j *hashJoinOp) Close() error { return j.left.Close() }
 
 func (j *hashJoinOp) Next() (*Batch, error) {
-	out := make([][]Value, 0, j.batch)
 	for {
-		// Drain pending matches for the current probe row.
-		for j.matchIdx < len(j.matches) {
-			row := concatRows(j.cur.Rows[j.li-1], j.matches[j.matchIdx])
-			j.matchIdx++
-			if j.residual != nil {
-				ok, err := j.residual(row)
-				if err != nil {
-					return nil, err
-				}
-				if !ok {
-					continue
-				}
-			}
-			out = append(out, row)
-			if len(out) == j.batch {
-				return &Batch{Rows: out}, nil
-			}
-		}
-		// Advance to the next probe row.
-		if j.cur == nil || j.li == len(j.cur.Rows) {
+		if j.cur == nil {
 			b, err := j.left.Next()
+			if b == nil || err != nil {
+				return nil, err
+			}
+			j.cur, j.li, j.curMatches, j.matchIdx = b, 0, nil, 0
+		}
+		// Collect up to batch (probe row, build row) pairs from the
+		// current probe batch, in probe order.
+		probeSel := j.selBuf[:0]
+		matches := j.matchBuf[:0]
+		for {
+			for j.matchIdx < len(j.curMatches) && len(probeSel) < j.batch {
+				probeSel = append(probeSel, int32(j.li-1))
+				matches = append(matches, j.curMatches[j.matchIdx])
+				j.matchIdx++
+			}
+			if len(probeSel) == j.batch || j.li == j.cur.N {
+				break
+			}
+			var err error
+			j.keyBuf, err = appendCellKey(j.keyBuf[:0], &j.cur.Cols[j.hashL], j.li)
 			if err != nil {
 				return nil, err
 			}
-			if b == nil {
-				if len(out) > 0 {
-					return &Batch{Rows: out}, nil
-				}
-				return nil, nil
-			}
-			j.cur, j.li = b, 0
+			j.curMatches, j.matchIdx = j.index[string(j.keyBuf)], 0
+			j.li++
 		}
-		k, err := groupKey(j.cur.Rows[j.li][j.hashL])
+		cur := j.cur
+		if j.li == cur.N && j.matchIdx == len(j.curMatches) {
+			j.cur = nil // probe batch exhausted; fetch the next one
+		}
+		j.selBuf, j.matchBuf = probeSel, matches
+		if len(probeSel) == 0 {
+			continue
+		}
+		out, err := j.assemble(cur, probeSel, matches)
 		if err != nil {
 			return nil, err
 		}
-		j.matches, j.matchIdx = j.index[k], 0
-		j.li++
+		if out == nil {
+			continue // the residual filtered every pair of this window
+		}
+		return out, nil
 	}
+}
+
+// assemble builds the output batch for one window of (probe row, build row)
+// pairs, all drawn from probe batch b. Without a residual the output is
+// columnar: probe columns typed-gathered, build columns transposed. With a
+// residual, joined rows are materialized, filtered, and re-columnarized;
+// nil means nothing survived.
+func (j *hashJoinOp) assemble(b *Batch, probeSel []int32, matches [][]Value) (*Batch, error) {
+	if j.residual == nil {
+		out := &Batch{Cols: make([]Column, len(j.schema)), N: len(probeSel)}
+		for ci := 0; ci < j.leftWidth; ci++ {
+			out.Cols[ci] = b.Cols[ci].gather(probeSel)
+		}
+		buf := make([]Value, len(matches))
+		for ci := j.leftWidth; ci < len(j.schema); ci++ {
+			for p, rr := range matches {
+				buf[p] = rr[ci-j.leftWidth]
+			}
+			out.Cols[ci] = NewColumn(buf)
+		}
+		return out, nil
+	}
+	var out [][]Value
+	probe := make([]Value, j.leftWidth)
+	lastLi := int32(-1)
+	for p, rr := range matches {
+		if probeSel[p] != lastLi {
+			b.Row(int(probeSel[p]), probe)
+			lastLi = probeSel[p]
+		}
+		row := concatRows(probe, rr)
+		ok, err := j.residual(row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, row)
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return NewBatchFromRows(out, len(j.schema))
 }
 
 // ---------------------------------------------------------------------------
@@ -353,6 +410,31 @@ func (g *groupByOp) add(acc *groupAcc, v Value) error {
 	return fmt.Errorf("exec: unknown aggregate %q", acc.fn)
 }
 
+// addFast accumulates one cell of a typed plaintext column without
+// materializing a Value: the monomorphic path for COUNT and for SUM/AVG
+// over int64/float64 vectors. It reports whether it handled the cell;
+// callers fall back to add (via Column.Value) otherwise.
+func (g *groupByOp) addFast(acc *groupAcc, col *Column, ri int) bool {
+	if acc.fn == sql.AggCount {
+		acc.count++
+		return true
+	}
+	if (acc.fn != sql.AggSum && acc.fn != sql.AggAvg) || col.IsNull(ri) {
+		return false
+	}
+	switch col.Kind {
+	case ColInt:
+		acc.count++
+		acc.sum += float64(col.Ints[ri])
+		return true
+	case ColFloat:
+		acc.count++
+		acc.sum += col.Floats[ri]
+		return true
+	}
+	return false
+}
+
 func (g *groupByOp) result(acc *groupAcc) (Value, error) {
 	switch acc.fn {
 	case sql.AggCount:
@@ -379,7 +461,12 @@ func (g *groupByOp) result(acc *groupAcc) (Value, error) {
 }
 
 // build drains the child (the group-by is a pipeline breaker) and
-// hash-aggregates it, emitting groups in first-seen order.
+// hash-aggregates it. Group keys are encoded straight from the column
+// vectors (appendCellKey mirrors groupKey byte for byte) and the common
+// aggregates accumulate from the typed vectors; rows are only materialized
+// to pin a new group's key values. Groups emit in first-seen order, and
+// accumulation order per group equals row order, so float summation is
+// bit-identical to the row-at-a-time oracle.
 func (g *groupByOp) build() error {
 	type group struct {
 		keyVals []Value
@@ -397,14 +484,13 @@ func (g *groupByOp) build() error {
 		if b == nil {
 			break
 		}
-		for _, row := range b.Rows {
+		for ri := 0; ri < b.N; ri++ {
 			keyBuf = keyBuf[:0]
 			for _, ix := range g.keyIdx {
-				k, err := groupKey(row[ix])
+				keyBuf, err = appendCellKey(keyBuf, &b.Cols[ix], ri)
 				if err != nil {
 					return err
 				}
-				keyBuf = append(keyBuf, k...)
 				keyBuf = append(keyBuf, '\x1f')
 			}
 			hk := string(keyBuf)
@@ -412,7 +498,7 @@ func (g *groupByOp) build() error {
 			if !ok {
 				grp = &group{keyVals: make([]Value, len(g.keyIdx)), accs: make([]*groupAcc, len(g.specs))}
 				for i, ix := range g.keyIdx {
-					grp.keyVals[i] = row[ix]
+					grp.keyVals[i] = b.Cols[ix].Value(ri)
 				}
 				for i, sp := range g.specs {
 					grp.accs[i] = &groupAcc{fn: sp.Func}
@@ -421,11 +507,18 @@ func (g *groupByOp) build() error {
 				order = append(order, hk)
 			}
 			for i, sp := range g.specs {
-				var v Value
-				if !sp.Star {
-					v = row[g.aggIdx[i]]
+				acc := grp.accs[i]
+				if sp.Star {
+					if err := g.add(acc, Value{}); err != nil {
+						return err
+					}
+					continue
 				}
-				if err := g.add(grp.accs[i], v); err != nil {
+				col := &b.Cols[g.aggIdx[i]]
+				if g.addFast(acc, col, ri) {
+					continue
+				}
+				if err := g.add(acc, col.Value(ri)); err != nil {
 					return err
 				}
 			}
@@ -465,12 +558,15 @@ func (g *groupByOp) Next() (*Batch, error) {
 	}
 	window := g.out[g.pos:end]
 	g.pos = end
-	return &Batch{Rows: window}, nil
+	return NewBatchFromRows(window, len(g.schema))
 }
 
 // ---------------------------------------------------------------------------
 // User defined function
 
+// udfOp computes one output column by applying the registered function row
+// by row (UDFs are opaque row functions); every passthrough column is
+// forwarded from the input batch without copying.
 type udfOp struct {
 	child  Operator
 	node   *algebra.UDF
@@ -489,30 +585,31 @@ func (u *udfOp) Next() (*Batch, error) {
 	if b == nil || err != nil {
 		return nil, err
 	}
-	out := make([][]Value, len(b.Rows))
 	args := make([]Value, len(u.argIdx))
-	for ri, row := range b.Rows {
+	res := make([]Value, b.N)
+	for ri := 0; ri < b.N; ri++ {
 		for i, ix := range u.argIdx {
-			if row[ix].IsCipher() {
+			v := b.Cols[ix].Value(ri)
+			if v.IsCipher() {
 				return nil, fmt.Errorf("exec: udf %q over encrypted argument %s", u.node.Name, u.node.Args[i])
 			}
-			args[i] = row[ix]
+			args[i] = v
 		}
-		res, err := u.fn(args)
+		out, err := u.fn(args)
 		if err != nil {
 			return nil, fmt.Errorf("exec: udf %q: %w", u.node.Name, err)
 		}
-		outRow := make([]Value, len(u.srcIdx))
-		for i, src := range u.srcIdx {
-			if src < 0 {
-				outRow[i] = res
-			} else {
-				outRow[i] = row[src]
-			}
-		}
-		out[ri] = outRow
+		res[ri] = out
 	}
-	return &Batch{Rows: out}, nil
+	out := &Batch{Cols: make([]Column, len(u.srcIdx)), N: b.N}
+	for i, src := range u.srcIdx {
+		if src < 0 {
+			out.Cols[i] = NewColumn(res)
+		} else {
+			out.Cols[i] = b.Cols[src]
+		}
+	}
+	return out, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -539,22 +636,21 @@ func (o *encryptOp) Schema() []algebra.Attr { return o.child.Schema() }
 func (o *encryptOp) Open() error            { return o.child.Open() }
 func (o *encryptOp) Close() error           { return o.child.Close() }
 
-// Next encrypts column-wise: each attribute's cells are gathered into one
-// slice and handed to the batch crypto API (cipher state resolved once,
-// outputs arena-allocated, large columns fanned out to the worker pool)
-// instead of one EncryptValue call per cell. The ValueCrypto knob keeps the
-// per-value path as the equivalence oracle and benchmark baseline.
+// Next encrypts column-wise: each designated column's cells are handed to
+// the batch crypto API as one call (cipher state resolved once, outputs
+// arena-allocated, large columns fanned out to the worker pool), and the
+// symmetric schemes' results land directly in a ciphertext-byte column —
+// no per-cell Cipher allocation. Untouched columns are forwarded. The
+// ValueCrypto knob keeps the per-value path as the equivalence oracle and
+// benchmark baseline.
 func (o *encryptOp) Next() (*Batch, error) {
 	b, err := o.child.Next()
 	if b == nil || err != nil {
 		return nil, err
 	}
-	out := make([][]Value, len(b.Rows))
-	for ri, row := range b.Rows {
-		out[ri] = append(make([]Value, 0, len(row)), row...)
-	}
 	if o.e.ValueCrypto {
-		for _, nr := range out {
+		rows := b.Rows()
+		for _, nr := range rows {
 			for _, c := range o.cols {
 				for _, ci := range c.idx {
 					if nr[ci].IsCipher() {
@@ -568,29 +664,47 @@ func (o *encryptOp) Next() (*Batch, error) {
 				}
 			}
 		}
-		return &Batch{Rows: out}, nil
+		return NewBatchFromRows(rows, len(b.Cols))
 	}
-	if cap(o.colBuf) < len(out) {
-		o.colBuf = make([]Value, len(out))
-	}
-	col := o.colBuf[:len(out)]
+	out := &Batch{Cols: append([]Column(nil), b.Cols...), N: b.N}
 	for _, c := range o.cols {
 		for _, ci := range c.idx {
-			for ri, nr := range out {
-				if nr[ci].IsCipher() {
-					return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
-				}
-				col[ri] = nr[ci]
+			col := &b.Cols[ci]
+			if col.Kind == ColCipherBytes {
+				return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
 			}
-			if err := encryptColumnPar(o.e, c.ring, c.scheme, col, col); err != nil {
+			if col.Kind == ColAny {
+				for i := range col.Vals {
+					if col.Vals[i].IsCipher() {
+						return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
+					}
+				}
+			}
+			vals := col.AppendValues(o.colBuf[:0])
+			o.colBuf = vals[:0]
+			if err := encryptColumnPar(o.e, c.ring, c.scheme, vals, vals); err != nil {
 				return nil, fmt.Errorf("exec: encrypting %s: %w", c.attr, err)
 			}
-			for ri, nr := range out {
-				nr[ci] = col[ri]
-			}
+			out.Cols[ci] = cipherColumn(c.scheme, c.ring.ID, vals)
 		}
 	}
-	return &Batch{Rows: out}, nil
+	return out, nil
+}
+
+// cipherColumn packs a freshly encrypted cell vector into a column: the
+// symmetric schemes' payloads become a ciphertext-byte column sharing the
+// scheme and key id; Paillier group elements stay generic values.
+func cipherColumn(scheme algebra.Scheme, keyID string, vals []Value) Column {
+	if scheme == algebra.SchemePaillier {
+		return NewColumn(vals)
+	}
+	col := Column{Kind: ColCipherBytes, Scheme: scheme, KeyID: keyID,
+		Bytes: make([][]byte, len(vals)), Plains: make([]Kind, len(vals))}
+	for i := range vals {
+		col.Bytes[i] = vals[i].C.Data
+		col.Plains[i] = vals[i].C.Plain
+	}
+	return col
 }
 
 // decCol is one attribute to decrypt: its schema positions.
@@ -622,21 +736,21 @@ func (o *decryptOp) ring(keyID string) (*crypto.KeyRing, error) {
 	return r, nil
 }
 
-// Next decrypts column-wise: the designated attributes' cells are grouped
-// by scheme and key and each group decrypts through one batched call, with
-// large groups fanned out to the worker pool. The ValueCrypto knob keeps
-// the per-value path as the equivalence oracle and benchmark baseline.
+// Next decrypts column-wise: a ciphertext-byte column decrypts through one
+// batched call straight off its payload vector (the scheme and key are
+// column metadata — no per-cell grouping needed), generic columns group
+// their cipher cells by scheme and key first, and the decrypted cells land
+// in a freshly typed column. Untouched columns are forwarded. The
+// ValueCrypto knob keeps the per-value path as the equivalence oracle and
+// benchmark baseline.
 func (o *decryptOp) Next() (*Batch, error) {
 	b, err := o.child.Next()
 	if b == nil || err != nil {
 		return nil, err
 	}
-	out := make([][]Value, len(b.Rows))
-	for ri, row := range b.Rows {
-		out[ri] = append(make([]Value, 0, len(row)), row...)
-	}
 	if o.e.ValueCrypto {
-		for _, nr := range out {
+		rows := b.Rows()
+		for _, nr := range rows {
 			for _, c := range o.cols {
 				for _, ci := range c.idx {
 					v := nr[ci]
@@ -655,20 +769,28 @@ func (o *decryptOp) Next() (*Batch, error) {
 				}
 			}
 		}
-		return &Batch{Rows: out}, nil
+		return NewBatchFromRows(rows, len(b.Cols))
 	}
+	out := &Batch{Cols: append([]Column(nil), b.Cols...), N: b.N}
 	for _, c := range o.cols {
-		for _, nr := range out {
-			for _, ci := range c.idx {
-				if !nr[ci].IsCipher() {
+		for _, ci := range c.idx {
+			src := &b.Cols[ci]
+			if src.Kind != ColCipherBytes {
+				if src.Kind != ColAny {
 					return nil, fmt.Errorf("exec: decrypting plaintext %s", c.attr)
 				}
+				for i := range src.Vals {
+					if !src.Vals[i].IsCipher() {
+						return nil, fmt.Errorf("exec: decrypting plaintext %s", c.attr)
+					}
+				}
 			}
-		}
-		groups := groupCipherCells(out, c.idx)
-		if err := o.e.decryptGroups(groups, out, o.ring); err != nil {
-			return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
+			col, err := o.e.decryptColumn(src, o.ring)
+			if err != nil {
+				return nil, fmt.Errorf("exec: decrypting %s: %w", c.attr, err)
+			}
+			out.Cols[ci] = col
 		}
 	}
-	return &Batch{Rows: out}, nil
+	return out, nil
 }

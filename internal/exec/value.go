@@ -1,10 +1,3 @@
-// Package exec is an in-memory relational execution engine for (extended)
-// query plans. It evaluates every operator of the algebra, including the
-// encryption and decryption operators and computation over encrypted
-// values: equality and grouping over deterministic ciphertexts, range
-// conditions and min/max over OPE ciphertexts, and sum/avg over Paillier
-// ciphertexts via additive homomorphism — the CryptDB/SEEED-style substrate
-// the paper's model assumes (Section 1).
 package exec
 
 import (
