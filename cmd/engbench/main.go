@@ -10,12 +10,16 @@
 // and reports mean time-to-first-row next to full latency. With -interior
 // it also records the centralized interior microbenchmark (columnar
 // pipeline vs row-at-a-time oracle per query, no distribution or planning
-// in the way). -paillier-bits (alias -paillierbits) sizes the Paillier
-// primes and -cryptoworkers the intra-batch crypto worker pool. Results
-// are written as JSON (BENCH_engine.json in the repo records the measured
-// comparison; docs/BENCHMARKS.md explains every cell).
+// in the way). -workers sweeps the morsel worker pool: each count > 1 adds
+// a batch-cached-wN closed-loop cell and a columnar-wN interior cell, so
+// the report shows how fragment-internal parallelism scales with cores
+// (bounded by the recorded GOMAXPROCS). -paillier-bits (alias
+// -paillierbits) sizes the Paillier primes and -cryptoworkers the
+// intra-batch crypto worker pool. Results are written as JSON
+// (BENCH_engine.json in the repo records the measured comparison;
+// docs/BENCHMARKS.md explains every cell).
 //
-//	engbench -scenario UAPenc -sf 0.001 -duration 3s -clients 1,2 -interior -out BENCH_engine.json
+//	engbench -scenario UAPenc -sf 0.001 -duration 3s -clients 1,2 -workers 1,4 -interior -out BENCH_engine.json
 package main
 
 import (
@@ -58,8 +62,11 @@ type report struct {
 	BatchSize    int     `json:"batch_size"`
 	// CryptoWorkers is the intra-batch crypto worker pool size (0 =
 	// GOMAXPROCS).
-	CryptoWorkers int     `json:"crypto_workers"`
-	DurationSec   float64 `json:"duration_per_cell_sec"`
+	CryptoWorkers int `json:"crypto_workers"`
+	// Workers is the swept morsel worker pool sizes (-workers); CPU-bound
+	// scaling is bounded by GOMAXPROCS below.
+	Workers     []int   `json:"workers"`
+	DurationSec float64 `json:"duration_per_cell_sec"`
 	// RTTMs and LinkMBps describe the simulated wide-area links between
 	// subjects; CPUs and GOMAXPROCS record the host parallelism. Fragment
 	// concurrency overlaps link latency even on one core, while CPU-bound
@@ -94,6 +101,7 @@ func main() {
 		clients  = flag.String("clients", "1,2,4,8", "comma-separated client counts")
 		queryStr = flag.String("queries", "3,6,10", "comma-separated TPC-H query numbers")
 		batch    = flag.Int("batch", 0, fmt.Sprintf("pipeline batch size in rows (0 = default %d)", exec.DefaultBatchSize))
+		workersF = flag.String("workers", "1", "comma-separated morsel worker pool sizes to sweep (1 = single-threaded)")
 		stream   = flag.Bool("stream", false, "also measure Engine.QueryStream (time-to-first-row)")
 		interior = flag.Bool("interior", false, "also record the centralized interior microbenchmark (columnar vs row oracle)")
 		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
@@ -111,6 +119,10 @@ func main() {
 	queryNums, err := parseInts(*queryStr)
 	if err != nil {
 		log.Fatalf("engbench: -queries: %v", err)
+	}
+	workerCounts, err := parseInts(*workersF)
+	if err != nil {
+		log.Fatalf("engbench: -workers: %v", err)
 	}
 	sqls := make([]string, 0, len(queryNums))
 	for _, num := range queryNums {
@@ -134,6 +146,7 @@ func main() {
 		Queries:       queryNums,
 		BatchSize:     *batch,
 		CryptoWorkers: *cworkers,
+		Workers:       workerCounts,
 		DurationSec:   duration.Seconds(),
 		RTTMs:         float64(rtt.Milliseconds()),
 		LinkMBps:      *mbps,
@@ -145,20 +158,29 @@ func main() {
 		delay = &distsim.LinkDelay{RTT: *rtt, BytesPerSec: *mbps * 1e6}
 	}
 
-	configs := []struct {
+	type config struct {
 		name          string
 		materializing bool
 		valueCrypto   bool
 		cached        bool
 		stream        bool
-	}{
-		{"materializing-cold", true, false, false, false},
-		{"batch-valuecrypto-cold", false, true, false, false},
-		{"batch-cold", false, false, false, false},
-		{"materializing-cached", true, false, true, false},
-		{"batch-valuecrypto-cached", false, true, true, false},
-		{"batch-cached", false, false, true, false},
-		{"batch-stream-cached", false, false, true, true},
+		workers       int
+	}
+	configs := []config{
+		{"materializing-cold", true, false, false, false, 0},
+		{"batch-valuecrypto-cold", false, true, false, false, 0},
+		{"batch-cold", false, false, false, false, 0},
+		{"materializing-cached", true, false, true, false, 0},
+		{"batch-valuecrypto-cached", false, true, true, false, 0},
+		{"batch-cached", false, false, true, false, 0},
+		{"batch-stream-cached", false, false, true, true, 0},
+	}
+	// The -workers sweep: the cached batch pipeline re-measured per morsel
+	// worker pool size (workers=1 is the plain batch-cached cell above).
+	for _, w := range workerCounts {
+		if w > 1 {
+			configs = append(configs, config{fmt.Sprintf("batch-cached-w%d", w), false, false, true, false, w})
+		}
 	}
 	for _, c := range configs {
 		if c.stream && !*stream {
@@ -170,6 +192,7 @@ func main() {
 		cfg.BatchSize = *batch
 		cfg.PaillierBits = *paillier
 		cfg.CryptoWorkers = *cworkers
+		cfg.Workers = c.workers
 		cfg.LinkDelay = delay
 		if !c.cached {
 			cfg.CacheSize = -1
@@ -198,7 +221,7 @@ func main() {
 	}
 
 	if *interior {
-		rep.Interior = measureInterior(*sf, *seed, queryNums, *duration)
+		rep.Interior = measureInterior(*sf, *seed, queryNums, *duration, workerCounts)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -217,13 +240,27 @@ func main() {
 }
 
 // measureInterior times centralized plan execution per query for the
-// columnar batch pipeline and the row-at-a-time materializing oracle on
-// plaintext TPC-H tables: the interior-only comparison, one warmup run and
-// then as many runs as fit in the measurement window.
-func measureInterior(sf float64, seed int64, nums []int, window time.Duration) []interiorCell {
+// columnar batch pipeline (at every swept morsel worker count) and the
+// row-at-a-time materializing oracle on plaintext TPC-H tables: the
+// interior-only comparison, one warmup run and then as many runs as fit in
+// the measurement window.
+func measureInterior(sf float64, seed int64, nums []int, window time.Duration, workerCounts []int) []interiorCell {
 	cat := tpch.Catalog(sf)
 	tables := tpch.Generate(sf, seed)
 	pl := planner.New(cat)
+	type mode struct {
+		name    string
+		mat     bool
+		workers int
+	}
+	modes := []mode{{"row-oracle", true, 0}}
+	for _, w := range workerCounts {
+		name := "columnar"
+		if w > 1 {
+			name = fmt.Sprintf("columnar-w%d", w)
+		}
+		modes = append(modes, mode{name, false, w})
+	}
 	var out []interiorCell
 	for _, num := range nums {
 		var sqlText string
@@ -236,12 +273,10 @@ func measureInterior(sf float64, seed int64, nums []int, window time.Duration) [
 		if err != nil {
 			log.Fatalf("engbench: interior Q%d: %v", num, err)
 		}
-		for _, mode := range []struct {
-			name string
-			mat  bool
-		}{{"row-oracle", true}, {"columnar", false}} {
+		for _, mode := range modes {
 			e := exec.NewExecutor()
 			e.Materializing = mode.mat
+			e.Workers = mode.workers
 			for name, t := range tables {
 				e.Tables[name] = t
 			}

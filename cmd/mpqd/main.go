@@ -44,6 +44,7 @@ func main() {
 		sequential = flag.Bool("sequential", false, "use the sequential distributed runtime")
 		mat        = flag.Bool("materializing", false, "use the legacy whole-relation interior instead of the batch pipeline")
 		batchSize  = flag.Int("batch", 0, "pipeline batch size in rows (0 = default)")
+		workers    = flag.Int("workers", 0, "morsel worker pool size per fragment (0 or 1 = single-threaded)")
 		cacheSize  = flag.Int("cache", 0, "authorized-plan cache entries (0 = default, negative disables)")
 		paillier   = flag.Int("paillier-bits", crypto.DefaultPaillierBits, "Paillier prime size in bits")
 		rtt        = flag.Duration("rtt", 0, "simulated inter-subject link RTT (0 disables)")
@@ -64,6 +65,7 @@ func main() {
 	cfg.Sequential = *sequential
 	cfg.Materializing = *mat
 	cfg.BatchSize = *batchSize
+	cfg.Workers = *workers
 	cfg.CacheSize = *cacheSize
 	cfg.PaillierBits = *paillier
 	if *rtt > 0 {

@@ -142,12 +142,10 @@ func main() {
 		show = 5
 	}
 	fmt.Println("centralized:")
-	preview := *want
-	preview.Rows = want.Rows[:show]
+	preview := exec.Table{Schema: want.Schema, Rows: want.Rows[:show]}
 	fmt.Print(preview.Format(headers))
 	fmt.Println("distributed:")
-	preview2 := *final
-	preview2.Rows = final.Rows[:show]
+	preview2 := exec.Table{Schema: final.Schema, Rows: final.Rows[:show]}
 	fmt.Print(preview2.Format(headers))
 
 	fmt.Printf("\n== Network ledger: %d transfers, %d bytes total ==\n", len(nw.Transfers), nw.TotalBytes())

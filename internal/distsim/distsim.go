@@ -71,6 +71,17 @@ type Network struct {
 	// ValueCrypto forces subject executors onto the per-value crypto path
 	// (the batched-crypto equivalence oracle and benchmark baseline).
 	ValueCrypto bool
+	// Workers sizes each subject's morsel worker pool: fragments split
+	// their table-anchored pipeline segments into fixed row-ranges executed
+	// concurrently (exec.Executor.Workers). Every fragment worker gets its
+	// own pool, results stay row-for-row identical, and the ledger is
+	// unaffected except for batch counts (morsel boundaries repartition
+	// streams; bytes and rows are unchanged). 0 or 1 = single-threaded.
+	Workers int
+	// MorselRows overrides the fixed morsel length in rows (0 means
+	// exec.DefaultMorselRows). Morsel boundaries never depend on Workers,
+	// so results are deterministic for any setting.
+	MorselRows int
 	// Transfers is the ledger of inter-subject shipments, in completion
 	// order. ledgerMu guards appends from concurrent fragment workers;
 	// reading the ledger is safe once execution has completed.
@@ -134,6 +145,8 @@ func (nw *Network) Clone() *Network {
 		Materializing: nw.Materializing,
 		CryptoWorkers: nw.CryptoWorkers,
 		ValueCrypto:   nw.ValueCrypto,
+		Workers:       nw.Workers,
+		MorselRows:    nw.MorselRows,
 	}
 	for s, e := range nw.subjects {
 		ce := e.Clone()
@@ -141,6 +154,8 @@ func (nw *Network) Clone() *Network {
 		ce.Materializing = nw.Materializing
 		ce.CryptoWorkers = nw.CryptoWorkers
 		ce.ValueCrypto = nw.ValueCrypto
+		ce.Workers = nw.Workers
+		ce.MorselRows = nw.MorselRows
 		c.subjects[s] = ce
 	}
 	return c
@@ -215,6 +230,8 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 		ex.Materializing = nw.Materializing
 		ex.CryptoWorkers = nw.CryptoWorkers
 		ex.ValueCrypto = nw.ValueCrypto
+		ex.Workers = nw.Workers
+		ex.MorselRows = nw.MorselRows
 		for name, fn := range nw.UDFs {
 			ex.UDFs[name] = fn
 		}

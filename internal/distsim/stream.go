@@ -78,6 +78,8 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 		c.BatchSize = nw.BatchSize
 		c.CryptoWorkers = nw.CryptoWorkers
 		c.ValueCrypto = nw.ValueCrypto
+		c.Workers = nw.Workers
+		c.MorselRows = nw.MorselRows
 		c.Sources = make(map[algebra.Node]exec.Operator, len(f.inputs))
 		clones[i] = c
 	}

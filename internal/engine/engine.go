@@ -69,6 +69,16 @@ type Config struct {
 	// time operators and complete sub-result shipments — instead of the
 	// batch pipeline: the equivalence oracle and benchmark baseline.
 	Materializing bool
+	// Workers sizes each subject's morsel worker pool: table-anchored
+	// pipeline segments (and group-by builds above them) split into fixed
+	// row-ranges over the cached column vectors and execute concurrently,
+	// row-for-row identical to single-threaded execution. 0 or 1 =
+	// single-threaded fragments. Registered UDFs must be safe for
+	// concurrent calls when Workers > 1.
+	Workers int
+	// MorselRows overrides the fixed morsel length in rows (0 means
+	// exec.DefaultMorselRows).
+	MorselRows int
 }
 
 const defaultCacheSize = 256
@@ -325,6 +335,8 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 	nw.Materializing = e.cfg.Materializing
 	nw.CryptoWorkers = e.cfg.CryptoWorkers
 	nw.ValueCrypto = e.cfg.ValueCrypto
+	nw.Workers = e.cfg.Workers
+	nw.MorselRows = e.cfg.MorselRows
 	for name, fn := range e.cfg.UDFs {
 		nw.UDFs[name] = fn
 	}

@@ -101,12 +101,32 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 	limit := pq.plan.Limit
 	streaming := len(pq.plan.OrderBy) == 0
 
-	var drained [][]exec.Value // only when a sort blocks streaming
+	// ORDER BY + LIMIT — the top-k shape (TPC-H Q2/Q3/Q10) — keeps a
+	// bounded heap instead of draining and sorting the full result: memory
+	// stays O(limit) and the final sort touches only the retained rows.
+	var topk *exec.TopK
+	if !streaming && limit >= 0 {
+		specs := make([]exec.SortSpec, len(pq.plan.OrderBy))
+		for i, o := range pq.plan.OrderBy {
+			specs[i] = exec.SortSpec{Index: o.Index, Desc: o.Desc}
+		}
+		topk = exec.NewTopK(specs, limit)
+	}
+
+	var drained [][]exec.Value // only when an unbounded sort blocks streaming
 	emitted := 0
 	sink := func(rows [][]exec.Value) error {
 		dec, err := pipeline.DecryptRows(fin, rows)
 		if err != nil {
 			return err
+		}
+		if topk != nil {
+			for _, row := range dec {
+				if err := topk.Add(row); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
 		if !streaming {
 			drained = append(drained, dec...)
@@ -138,23 +158,37 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 	resp.Transfers = transfers
 
 	if !streaming {
-		t := exec.NewTable(schema)
-		t.Rows = drained
-		specs := make([]exec.SortSpec, len(pq.plan.OrderBy))
-		for i, o := range pq.plan.OrderBy {
-			specs[i] = exec.SortSpec{Index: o.Index, Desc: o.Desc}
+		var sorted [][]exec.Value
+		if topk != nil {
+			sorted, err = topk.Rows()
+			if err != nil {
+				e.errors.Add(1)
+				return nil, err
+			}
+		} else {
+			t := exec.NewTable(schema)
+			t.Rows = drained
+			specs := make([]exec.SortSpec, len(pq.plan.OrderBy))
+			for i, o := range pq.plan.OrderBy {
+				specs[i] = exec.SortSpec{Index: o.Index, Desc: o.Desc}
+			}
+			if err := t.SortBy(specs); err != nil {
+				e.errors.Add(1)
+				return nil, err
+			}
+			sorted = t.Rows // limit < 0 here: bounded queries took the TopK path
 		}
-		if err := t.SortBy(specs); err != nil {
-			e.errors.Add(1)
-			return nil, err
+		out := make([][]exec.Value, len(sorted))
+		for ri, row := range sorted {
+			pr := make([]exec.Value, len(indices))
+			for j, ix := range indices {
+				pr[j] = row[ix]
+			}
+			out[ri] = pr
 		}
-		out := t.Project(indices)
-		if limit >= 0 && len(out.Rows) > limit {
-			out.Rows = out.Rows[:limit]
-		}
-		for pos := 0; pos < len(out.Rows); pos += batch {
-			end := min(pos+batch, len(out.Rows))
-			if err := emit(out.Rows[pos:end]); err != nil {
+		for pos := 0; pos < len(out); pos += batch {
+			end := min(pos+batch, len(out))
+			if err := emit(out[pos:end]); err != nil {
 				e.errors.Add(1)
 				return nil, err
 			}

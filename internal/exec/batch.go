@@ -125,20 +125,23 @@ func Drain(op Operator) (*Table, error) {
 	return out, nil
 }
 
-// tableScan streams an in-memory table in columnar batches: each Next
-// columnarizes the next window of the table's row storage (with the
-// projection, when any, applied during the transposition).
-type tableScan struct {
-	schema   []algebra.Attr
-	rows     [][]Value
-	project  []int // nil = identity
-	rawWidth int   // width every stored row must have (the table schema's)
-	batch    int
-	pos      int
-	buf      []Value // reused per-column gather buffer
+// colScan streams a table's cached column vectors in zero-copy batch
+// windows: Open resolves (building on first use) the table's columnar
+// representation and applies the projection as a header pick, and every Next
+// slices the next window off the shared vectors — no per-scan transposition,
+// no cell copies. Ragged rows surface as an Open error (the cache build
+// validates widths, exactly as the transposing scan did per window).
+type colScan struct {
+	schema  []algebra.Attr
+	t       *Table
+	project []int // nil = identity
+	batch   int
+	cols    []Column // projected headers, resolved at Open
+	n       int      // row count the vectors were built at (the scan bound)
+	pos     int
 }
 
-func newTableScan(t *Table, project []int, batch int) *tableScan {
+func newColScan(t *Table, project []int, batch int) *colScan {
 	schema := t.Schema
 	if project != nil {
 		schema = make([]algebra.Attr, len(project))
@@ -146,46 +149,55 @@ func newTableScan(t *Table, project []int, batch int) *tableScan {
 			schema[i] = t.Schema[ix]
 		}
 	}
-	return &tableScan{schema: schema, rows: t.Rows, project: project, rawWidth: len(t.Schema), batch: batch}
+	return &colScan{schema: schema, t: t, project: project, batch: batch}
 }
 
-func (s *tableScan) Schema() []algebra.Attr { return s.schema }
-func (s *tableScan) Open() error            { s.pos = 0; return nil }
-func (s *tableScan) Close() error           { return nil }
+func (s *colScan) Schema() []algebra.Attr { return s.schema }
+func (s *colScan) Close() error           { return nil }
 
-func (s *tableScan) Next() (*Batch, error) {
-	if s.pos >= len(s.rows) {
-		return nil, nil
+func (s *colScan) Open() error {
+	cols, n, err := s.t.snapshotColumns()
+	if err != nil {
+		return err
 	}
-	end := s.pos + s.batch
-	if end > len(s.rows) {
-		end = len(s.rows)
+	s.cols = projectCols(cols, s.project)
+	s.n = n
+	s.pos = 0
+	return nil
+}
+
+func (s *colScan) Next() (*Batch, error) {
+	return scanWindow(s.cols, &s.pos, s.n, s.batch), nil
+}
+
+// projectCols picks the projected column headers (nil = identity).
+func projectCols(cols []Column, project []int) []Column {
+	if project == nil {
+		return cols
 	}
-	window := s.rows[s.pos:end]
-	s.pos = end
-	// Ragged rows (a mis-built or mis-shipped relation) would corrupt
-	// every positional access downstream; fail the scan instead.
-	for _, r := range window {
-		if len(r) != s.rawWidth {
-			return nil, fmt.Errorf("exec: scanned row width %d != schema width %d", len(r), s.rawWidth)
-		}
+	out := make([]Column, len(project))
+	for i, ix := range project {
+		out[i] = cols[ix]
 	}
-	b := &Batch{Cols: make([]Column, len(s.schema)), N: len(window)}
-	if cap(s.buf) < len(window) {
-		s.buf = make([]Value, len(window))
+	return out
+}
+
+// scanWindow emits the next at-most-batch-row window of cols as zero-copy
+// column slices, advancing *pos toward hi; nil when the range is exhausted.
+func scanWindow(cols []Column, pos *int, hi, batch int) *Batch {
+	if *pos >= hi {
+		return nil
 	}
-	buf := s.buf[:len(window)]
-	for ci := range s.schema {
-		src := ci
-		if s.project != nil {
-			src = s.project[ci]
-		}
-		for ri, r := range window {
-			buf[ri] = r[src]
-		}
-		b.Cols[ci] = NewColumn(buf)
+	end := *pos + batch
+	if end > hi {
+		end = hi
 	}
-	return b, nil
+	b := &Batch{Cols: make([]Column, len(cols)), N: end - *pos}
+	for ci := range cols {
+		b.Cols[ci] = cols[ci].slice(*pos, end)
+	}
+	*pos = end
+	return b
 }
 
 // identityProjection reports whether indices is 0,1,...,n-1 over a schema

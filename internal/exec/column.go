@@ -241,6 +241,55 @@ func detectColKind(vals []Value) ColKind {
 	return kind
 }
 
+// slice returns the column's window [lo, hi) as a new column header sharing
+// the receiver's cell storage: the zero-copy view scans and morsels serve.
+// Only the null bitmap may need rebuilding — when lo is word-aligned the
+// bitmap words are shared too, otherwise the window's bits are shifted into
+// a fresh (hi-lo)-bit bitmap.
+func (c *Column) slice(lo, hi int) Column {
+	out := Column{Kind: c.Kind}
+	switch c.Kind {
+	case ColInt:
+		out.Ints = c.Ints[lo:hi]
+	case ColFloat:
+		out.Floats = c.Floats[lo:hi]
+	case ColStr:
+		out.Strs = c.Strs[lo:hi]
+	case ColCipherBytes:
+		out.Bytes = c.Bytes[lo:hi]
+		out.Plains = c.Plains[lo:hi]
+		out.Scheme, out.KeyID = c.Scheme, c.KeyID
+	default:
+		out.Vals = c.Vals[lo:hi]
+	}
+	if c.Nulls != nil {
+		out.Nulls = sliceBitmap(c.Nulls, lo, hi)
+	}
+	return out
+}
+
+// sliceBitmap extracts bits [lo, hi) of a null bitmap. Word-aligned windows
+// share the underlying words; unaligned ones are shifted into fresh storage.
+func sliceBitmap(words []uint64, lo, hi int) []uint64 {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	if lo&63 == 0 {
+		return words[lo>>6 : (hi+63)>>6]
+	}
+	out := make([]uint64, (n+63)/64)
+	s := uint(lo & 63)
+	for i := range out {
+		w := words[lo>>6+i] >> s
+		if next := lo>>6 + i + 1; next < len(words) {
+			w |= words[next] << (64 - s)
+		}
+		out[i] = w
+	}
+	return out
+}
+
 // gather returns a new column holding the cells of c at the selected
 // indexes, in selection order: the typed counterpart of row copying after a
 // filter.

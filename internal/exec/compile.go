@@ -20,7 +20,16 @@ func (e *Executor) Build(n algebra.Node) (Operator, error) {
 		return op, nil
 	}
 	if t, ok := e.Materialized[n]; ok {
-		return newTableScan(t, nil, e.batchSize()), nil
+		return newColScan(t, nil, e.batchSize()), nil
+	}
+	if e.parWorkers() > 1 {
+		op, ok, err := e.buildParallel(n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return op, nil
+		}
 	}
 	switch x := n.(type) {
 	case *algebra.Base:
@@ -61,7 +70,7 @@ func (e *Executor) buildBase(b *algebra.Base) (Operator, error) {
 	if identityProjection(indices, len(t.Schema)) {
 		indices = nil
 	}
-	return newTableScan(t, indices, e.batchSize()), nil
+	return newColScan(t, indices, e.batchSize()), nil
 }
 
 func (e *Executor) buildProject(p *algebra.Project) (Operator, error) {
@@ -171,11 +180,31 @@ func (e *Executor) buildJoin(j *algebra.Join) (Operator, error) {
 }
 
 func (e *Executor) buildGroupBy(g *algebra.GroupBy) (Operator, error) {
-	child, err := e.Build(g.Child)
-	if err != nil {
-		return nil, err
+	// A group-by above a morsel-parallelizable chain aggregates per-morsel
+	// partial tables on the worker pool instead of draining a child stream
+	// sequentially; the merge in morsel order keeps results bit-identical.
+	var par *chain
+	var child Operator
+	if e.parWorkers() > 1 {
+		c, ok, err := e.planChain(g.Child)
+		if err != nil {
+			return nil, err
+		}
+		if ok && c.t.Len() > e.morselRows() {
+			par = c
+		}
 	}
-	in := child.Schema()
+	var in []algebra.Attr
+	if par != nil {
+		in = par.schema
+	} else {
+		var err error
+		child, err = e.Build(g.Child)
+		if err != nil {
+			return nil, err
+		}
+		in = child.Schema()
+	}
 	keyIdx := make([]int, len(g.Keys))
 	for i, k := range g.Keys {
 		ix := schemaIndex(in, k)
@@ -199,7 +228,8 @@ func (e *Executor) buildGroupBy(g *algebra.GroupBy) (Operator, error) {
 	return &groupByOp{
 		child: child, e: e, schema: g.Schema(),
 		keyIdx: keyIdx, aggIdx: aggIdx, specs: g.Aggs,
-		batch: e.batchSize(), rings: make(map[string]*crypto.KeyRing),
+		batch: e.batchSize(), ring: e.ringCache(),
+		par: par,
 	}, nil
 }
 
@@ -281,7 +311,7 @@ func (e *Executor) buildDecrypt(dec *algebra.Decrypt) (Operator, error) {
 		}
 		cols = append(cols, decCol{attr: a, idx: idx})
 	}
-	return &decryptOp{child: child, e: e, cols: cols, rings: make(map[string]*crypto.KeyRing)}, nil
+	return &decryptOp{child: child, e: e, cols: cols, ring: e.ringCache()}, nil
 }
 
 // schemaIndex returns the first column index of attribute a in schema, or -1.

@@ -11,12 +11,18 @@
 //   - The columnar batch pipeline (the default): Executor.Build compiles a
 //     plan into Open/Next/Close operators exchanging Batch values — N rows
 //     stored as typed column vectors (int64, float64, string, ciphertext
-//     bytes, plus a generic Value fallback and a null bitmap). Filters
-//     narrow selection vectors over the vectors, projections forward column
-//     slices without copying, aggregation accumulates from the typed
-//     vectors, and the encrypt/decrypt operators hand whole columns to the
-//     batched crypto engine. Row-oriented callers convert only at the
-//     boundary (Drain, Batch.Rows).
+//     bytes, plus a generic Value fallback and a null bitmap). Scans serve
+//     zero-copy windows of each table's cached columnar store
+//     (Table.Columns, built once per relation), filters narrow selection
+//     vectors over the vectors, projections forward column slices without
+//     copying, aggregation accumulates from the typed vectors, and the
+//     encrypt/decrypt operators hand whole columns to the batched crypto
+//     engine. Row-oriented callers convert only at the boundary (Drain,
+//     Batch.Rows). With Executor.Workers > 1, table-anchored pipeline
+//     segments execute morsel-parallel — fixed row-ranges on a worker pool,
+//     merged in morsel order — with results row-for-row identical to
+//     single-threaded execution (see docs/ARCHITECTURE.md, "Morsel-driven
+//     parallelism").
 //
 //   - The legacy row-at-a-time materializing evaluator (Executor.Run with
 //     Materializing set): every operator materializes its full result and

@@ -53,6 +53,18 @@ type Executor struct {
 	// the equivalence oracle and benchmark baseline for the batched crypto
 	// engine.
 	ValueCrypto bool
+	// Workers sizes the morsel worker pool: when > 1, pipeline segments
+	// anchored at a table scan (scan, filter, project, UDF, encrypt,
+	// decrypt, hash-join probe) execute fixed row-ranges of the cached
+	// column vectors concurrently, and group-by builds merge per-morsel
+	// partial aggregation tables in morsel order — results stay row-for-row
+	// identical to single-threaded execution. 0 or 1 runs single-threaded.
+	// UDFs must be safe for concurrent calls when Workers > 1.
+	Workers int
+	// MorselRows is the fixed morsel length in rows (0 means
+	// DefaultMorselRows). Morsel boundaries depend only on this value and
+	// the table, never on Workers, so parallel results are deterministic.
+	MorselRows int
 }
 
 // ConstCache maps value-comparison conditions to their encrypted literals.
@@ -90,6 +102,8 @@ func (e *Executor) Clone() *Executor {
 		Materializing: e.Materializing,
 		CryptoWorkers: e.CryptoWorkers,
 		ValueCrypto:   e.ValueCrypto,
+		Workers:       e.Workers,
+		MorselRows:    e.MorselRows,
 	}
 }
 

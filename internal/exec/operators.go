@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"bytes"
 	"fmt"
 	"math/big"
 
@@ -163,14 +164,157 @@ func (p *productOp) Next() (*Batch, error) {
 // ---------------------------------------------------------------------------
 // Hash join
 
-// hashJoinOp drains and indexes its right input, then probes it batch by
-// batch: probe keys are computed from the hash column's vector (no row
-// materialization), and when the equality pair is the whole condition the
-// output batch is assembled columnar — probe-side columns typed-gathered by
-// the match selection, build-side columns transposed from the matched rows.
-// A residual condition falls back to materialized rows for its evaluation.
-// Output is emitted in at-most-batch-sized windows, so a skewed
-// many-to-many join never materializes its whole fanout at once.
+// buildRef addresses one build-side row: batch index, row index.
+type buildRef struct{ b, r int32 }
+
+// joinIndex is the build side of a hash join in columnar form: the build
+// child's batches retained as delivered, plus, per join key, the refs of the
+// matching build rows in build-row order. The index is built straight from
+// the column vectors (appendCellKey, no row materialization) and is
+// immutable once built, so morsel-parallel probe workers share one index
+// read-only.
+type joinIndex struct {
+	schema  []algebra.Attr
+	batches []*Batch
+	refs    map[string][]buildRef
+	// uniform caches, per build column, the layout shared by every batch
+	// (scheme and key id included for cipher columns) — ColAny when the
+	// batches disagree, so gathers take the generic path. Computed once at
+	// build; the probe hot path never rescans the batches for it.
+	uniform []ColKind
+}
+
+// buildJoinIndex drains the build child and indexes it by the hash column.
+// When the child is itself a morsel-parallel chain its batches are produced
+// concurrently (the parallel partition) and merged here into one index in
+// morsel order (the single merge), so refs land in build-row order exactly
+// as under sequential execution.
+func buildJoinIndex(right Operator, hashR int) (*joinIndex, error) {
+	idx := &joinIndex{schema: right.Schema(), refs: make(map[string][]buildRef)}
+	if err := right.Open(); err != nil {
+		right.Close()
+		return nil, err
+	}
+	var keyBuf []byte
+	for {
+		b, err := right.Next()
+		if err != nil {
+			right.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		bi := int32(len(idx.batches))
+		idx.batches = append(idx.batches, b)
+		col := &b.Cols[hashR]
+		for ri := 0; ri < b.N; ri++ {
+			keyBuf, err = appendCellKey(keyBuf[:0], col, ri)
+			if err != nil {
+				right.Close()
+				return nil, err
+			}
+			idx.refs[string(keyBuf)] = append(idx.refs[string(keyBuf)], buildRef{bi, int32(ri)})
+		}
+	}
+	if err := right.Close(); err != nil {
+		return nil, err
+	}
+	idx.uniform = make([]ColKind, len(idx.schema))
+	for ci := range idx.uniform {
+		idx.uniform[ci] = uniformKind(idx.batches, ci)
+	}
+	return idx, nil
+}
+
+// uniformKind returns the layout every batch holds column ci in, or ColAny
+// when they disagree (mixed kinds, or cipher columns under different
+// schemes/keys).
+func uniformKind(batches []*Batch, ci int) ColKind {
+	if len(batches) == 0 {
+		return ColAny
+	}
+	first := &batches[0].Cols[ci]
+	for bi := range batches {
+		c := &batches[bi].Cols[ci]
+		if c.Kind != first.Kind {
+			return ColAny
+		}
+		if c.Kind == ColCipherBytes && (c.Scheme != first.Scheme || c.KeyID != first.KeyID) {
+			return ColAny
+		}
+	}
+	return first.Kind
+}
+
+// row materializes the build row at rf into dst (len = build width).
+func (x *joinIndex) row(rf buildRef, dst []Value) {
+	x.batches[rf.b].Row(int(rf.r), dst)
+}
+
+// gatherCol assembles the output column for build-side column ci over the
+// matched refs, in match order. When every source batch holds the column in
+// one typed layout (x.uniform, precomputed at index build) the cells are
+// gathered vector to vector; otherwise they are materialized and
+// re-columnarized (NewColumn picks the tightest layout, exactly as
+// transposed rows would).
+func (x *joinIndex) gatherCol(ci int, refs []buildRef) Column {
+	kind := x.uniform[ci]
+	n := len(refs)
+	if kind != ColAny {
+		out := Column{Kind: kind}
+		switch kind {
+		case ColInt:
+			out.Ints = make([]int64, n)
+			for o, rf := range refs {
+				out.Ints[o] = x.batches[rf.b].Cols[ci].Ints[rf.r]
+			}
+		case ColFloat:
+			out.Floats = make([]float64, n)
+			for o, rf := range refs {
+				out.Floats[o] = x.batches[rf.b].Cols[ci].Floats[rf.r]
+			}
+		case ColStr:
+			out.Strs = make([]string, n)
+			for o, rf := range refs {
+				out.Strs[o] = x.batches[rf.b].Cols[ci].Strs[rf.r]
+			}
+		case ColCipherBytes:
+			src0 := &x.batches[0].Cols[ci]
+			out.Scheme, out.KeyID = src0.Scheme, src0.KeyID
+			out.Bytes = make([][]byte, n)
+			out.Plains = make([]Kind, n)
+			for o, rf := range refs {
+				c := &x.batches[rf.b].Cols[ci]
+				out.Bytes[o] = c.Bytes[rf.r]
+				out.Plains[o] = c.Plains[rf.r]
+			}
+		}
+		for o, rf := range refs {
+			if x.batches[rf.b].Cols[ci].IsNull(int(rf.r)) {
+				out.setNull(o, n)
+			}
+		}
+		return out
+	}
+	buf := make([]Value, n)
+	for o, rf := range refs {
+		buf[o] = x.batches[rf.b].Cols[ci].Value(int(rf.r))
+	}
+	return NewColumn(buf)
+}
+
+// hashJoinOp indexes its build input, then probes it batch by batch: probe
+// keys are computed from the hash column's vector, the index is built
+// straight from the build child's column vectors (no row materialization
+// anywhere on the build path), and when the equality pair is the whole
+// condition the output batch is assembled columnar — probe-side columns
+// typed-gathered by the match selection, build-side columns typed-gathered
+// through the index refs. A residual condition falls back to materialized
+// rows for its evaluation. Output is emitted in at-most-batch-sized windows,
+// so a skewed many-to-many join never materializes its whole fanout at once.
+// Under morsel parallelism each probe worker holds its own hashJoinOp with a
+// private cursor, all sharing one read-only pre-built index.
 type hashJoinOp struct {
 	left, right  Operator
 	schema       []algebra.Attr
@@ -179,17 +323,18 @@ type hashJoinOp struct {
 	batch        int
 	leftWidth    int
 
-	index map[string][][]Value
+	idx    *joinIndex
+	shared bool // idx was pre-built and injected; Open must not rebuild it
 
 	// Probe cursor: the current probe batch, the next probe row, and the
 	// unconsumed matches of the last keyed row.
 	cur        *Batch
 	li         int
-	curMatches [][]Value
+	curMatches []buildRef
 	matchIdx   int
 
-	selBuf   []int32   // reused (probe row, build row) pair buffers
-	matchBuf [][]Value //
+	selBuf   []int32    // reused (probe row, build row) pair buffers
+	matchBuf []buildRef //
 	keyBuf   []byte
 }
 
@@ -199,17 +344,12 @@ func (j *hashJoinOp) Open() error {
 	if err := j.left.Open(); err != nil {
 		return err
 	}
-	t, err := Drain(j.right)
-	if err != nil {
-		return err
-	}
-	j.index = make(map[string][][]Value, len(t.Rows))
-	for _, rr := range t.Rows {
-		k, err := groupKey(rr[j.hashR])
+	if !j.shared {
+		idx, err := buildJoinIndex(j.right, j.hashR)
 		if err != nil {
 			return err
 		}
-		j.index[k] = append(j.index[k], rr)
+		j.idx = idx
 	}
 	j.cur, j.li, j.curMatches, j.matchIdx = nil, 0, nil, 0
 	return nil
@@ -244,7 +384,7 @@ func (j *hashJoinOp) Next() (*Batch, error) {
 			if err != nil {
 				return nil, err
 			}
-			j.curMatches, j.matchIdx = j.index[string(j.keyBuf)], 0
+			j.curMatches, j.matchIdx = j.idx.refs[string(j.keyBuf)], 0
 			j.li++
 		}
 		cur := j.cur
@@ -268,33 +408,31 @@ func (j *hashJoinOp) Next() (*Batch, error) {
 
 // assemble builds the output batch for one window of (probe row, build row)
 // pairs, all drawn from probe batch b. Without a residual the output is
-// columnar: probe columns typed-gathered, build columns transposed. With a
-// residual, joined rows are materialized, filtered, and re-columnarized;
-// nil means nothing survived.
-func (j *hashJoinOp) assemble(b *Batch, probeSel []int32, matches [][]Value) (*Batch, error) {
+// columnar: probe columns typed-gathered, build columns gathered through the
+// index. With a residual, joined rows are materialized, filtered, and
+// re-columnarized; nil means nothing survived.
+func (j *hashJoinOp) assemble(b *Batch, probeSel []int32, matches []buildRef) (*Batch, error) {
 	if j.residual == nil {
 		out := &Batch{Cols: make([]Column, len(j.schema)), N: len(probeSel)}
 		for ci := 0; ci < j.leftWidth; ci++ {
 			out.Cols[ci] = b.Cols[ci].gather(probeSel)
 		}
-		buf := make([]Value, len(matches))
 		for ci := j.leftWidth; ci < len(j.schema); ci++ {
-			for p, rr := range matches {
-				buf[p] = rr[ci-j.leftWidth]
-			}
-			out.Cols[ci] = NewColumn(buf)
+			out.Cols[ci] = j.idx.gatherCol(ci-j.leftWidth, matches)
 		}
 		return out, nil
 	}
 	var out [][]Value
 	probe := make([]Value, j.leftWidth)
+	build := make([]Value, len(j.schema)-j.leftWidth)
 	lastLi := int32(-1)
-	for p, rr := range matches {
+	for p, rf := range matches {
 		if probeSel[p] != lastLi {
 			b.Row(int(probeSel[p]), probe)
 			lastLi = probeSel[p]
 		}
-		row := concatRows(probe, rr)
+		j.idx.row(rf, build)
+		row := concatRows(probe, build)
 		ok, err := j.residual(row)
 		if err != nil {
 			return nil, err
@@ -312,51 +450,55 @@ func (j *hashJoinOp) assemble(b *Batch, probeSel []int32, matches [][]Value) (*B
 // ---------------------------------------------------------------------------
 // Group by
 
-// groupAcc is the per-group accumulator of one aggregate, with the Paillier
-// key ring resolved once per key id (cached on the operator) instead of per
-// row.
+// ringFn resolves a key ring by id. Each resolution context (an operator,
+// every morsel worker) carries its own memoized instance (ringCache), so
+// parallel partial builds never share a mutable cache.
+type ringFn func(keyID string) (*crypto.KeyRing, error)
+
+// ringCache returns a ringFn memoizing Keys.Get in a private map.
+func (e *Executor) ringCache() ringFn {
+	rings := make(map[string]*crypto.KeyRing)
+	return func(keyID string) (*crypto.KeyRing, error) {
+		if r, ok := rings[keyID]; ok {
+			return r, nil
+		}
+		r, err := e.Keys.Get(keyID)
+		if err != nil {
+			return nil, err
+		}
+		rings[keyID] = r
+		return r, nil
+	}
+}
+
+// groupAcc is the per-group accumulator of one aggregate. It runs in one of
+// two modes: fold mode (the sequential build and the final merge target)
+// keeps the classical running state, while gather mode (the per-morsel
+// partial tables of the parallel build) collects plaintext SUM/AVG cells in
+// row order instead of folding them, so the morsel-order merge reproduces
+// the sequential floating-point accumulation bit for bit. MIN/MAX over OPE
+// ciphertext-byte columns additionally track the running extremes as payload
+// references (byteMode) — ciphertext order is byte order, so no Cipher is
+// materialized per candidate.
 type groupAcc struct {
 	fn    sql.AggFunc
 	count int64
 	sum   float64
+	vals  []float64 // gather mode: plaintext SUM/AVG cells in row order
 	min   Value
 	max   Value
 	phe   *big.Int
 	pheC  *Cipher
+
+	// OPE byte fast path: valid while byteMode is set; the first candidate
+	// from any other layout materializes min/max and clears it.
+	byteMode           bool
+	minB, maxB         []byte
+	minPlain, maxPlain Kind
+	minKey, maxKey     string
 }
 
-type groupByOp struct {
-	child  Operator
-	e      *Executor
-	schema []algebra.Attr
-	keyIdx []int
-	aggIdx []int
-	specs  []algebra.AggSpec
-	batch  int
-	rings  map[string]*crypto.KeyRing
-
-	built bool
-	out   [][]Value
-	pos   int
-}
-
-func (g *groupByOp) Schema() []algebra.Attr { return g.schema }
-func (g *groupByOp) Open() error            { g.built, g.out, g.pos = false, nil, 0; return g.child.Open() }
-func (g *groupByOp) Close() error           { return g.child.Close() }
-
-func (g *groupByOp) ring(keyID string) (*crypto.KeyRing, error) {
-	if r, ok := g.rings[keyID]; ok {
-		return r, nil
-	}
-	r, err := g.e.Keys.Get(keyID)
-	if err != nil {
-		return nil, err
-	}
-	g.rings[keyID] = r
-	return r, nil
-}
-
-func (g *groupByOp) add(acc *groupAcc, v Value) error {
+func (acc *groupAcc) add(v Value, gather bool, ring ringFn) error {
 	acc.count++
 	switch acc.fn {
 	case sql.AggCount:
@@ -366,7 +508,7 @@ func (g *groupByOp) add(acc *groupAcc, v Value) error {
 			if v.C.Scheme != algebra.SchemePaillier {
 				return fmt.Errorf("exec: %s over %s ciphertext", acc.fn, v.C.Scheme)
 			}
-			ring, err := g.ring(v.C.KeyID)
+			r, err := ring(v.C.KeyID)
 			if err != nil {
 				return err
 			}
@@ -376,7 +518,7 @@ func (g *groupByOp) add(acc *groupAcc, v Value) error {
 				acc.phe = new(big.Int).Set(v.C.Phe)
 				acc.pheC = v.C
 			} else {
-				ring.PK.AddTo(acc.phe, v.C.Phe)
+				r.PK.AddTo(acc.phe, v.C.Phe)
 			}
 			return nil
 		}
@@ -384,12 +526,19 @@ func (g *groupByOp) add(acc *groupAcc, v Value) error {
 		if err != nil {
 			return err
 		}
-		acc.sum += f
+		if gather {
+			acc.vals = append(acc.vals, f)
+		} else {
+			acc.sum += f
+		}
 		return nil
 	case sql.AggMin, sql.AggMax:
 		if acc.count == 1 {
 			acc.min, acc.max = v, v
 			return nil
+		}
+		if acc.byteMode {
+			acc.materializeMinMax()
 		}
 		c, err := compareForSort(v, acc.min)
 		if err != nil {
@@ -410,32 +559,154 @@ func (g *groupByOp) add(acc *groupAcc, v Value) error {
 	return fmt.Errorf("exec: unknown aggregate %q", acc.fn)
 }
 
-// addFast accumulates one cell of a typed plaintext column without
-// materializing a Value: the monomorphic path for COUNT and for SUM/AVG
-// over int64/float64 vectors. It reports whether it handled the cell;
-// callers fall back to add (via Column.Value) otherwise.
-func (g *groupByOp) addFast(acc *groupAcc, col *Column, ri int) bool {
-	if acc.fn == sql.AggCount {
+// addFast accumulates one cell of a typed column without materializing a
+// Value: the monomorphic path for COUNT, for SUM/AVG over int64/float64
+// vectors, and for MIN/MAX over OPE ciphertext-byte vectors (compared as
+// raw payload bytes — OPE order is byte order, exactly compareForSort's
+// rule). It reports whether it handled the cell; callers fall back to add
+// (via Column.Value) otherwise.
+func (acc *groupAcc) addFast(col *Column, ri int, gather bool) bool {
+	switch acc.fn {
+	case sql.AggCount:
 		acc.count++
 		return true
-	}
-	if (acc.fn != sql.AggSum && acc.fn != sql.AggAvg) || col.IsNull(ri) {
+	case sql.AggSum, sql.AggAvg:
+		if col.IsNull(ri) {
+			return false
+		}
+		switch col.Kind {
+		case ColInt:
+			acc.count++
+			if gather {
+				acc.vals = append(acc.vals, float64(col.Ints[ri]))
+			} else {
+				acc.sum += float64(col.Ints[ri])
+			}
+			return true
+		case ColFloat:
+			acc.count++
+			if gather {
+				acc.vals = append(acc.vals, col.Floats[ri])
+			} else {
+				acc.sum += col.Floats[ri]
+			}
+			return true
+		}
 		return false
-	}
-	switch col.Kind {
-	case ColInt:
+	case sql.AggMin, sql.AggMax:
+		if col.Kind != ColCipherBytes || col.Scheme != algebra.SchemeOPE {
+			return false
+		}
+		if acc.count == 0 {
+			acc.count++
+			acc.byteMode = true
+			acc.minB, acc.maxB = col.Bytes[ri], col.Bytes[ri]
+			acc.minPlain, acc.maxPlain = col.Plains[ri], col.Plains[ri]
+			acc.minKey, acc.maxKey = col.KeyID, col.KeyID
+			return true
+		}
+		if !acc.byteMode {
+			return false // an earlier candidate forced Value mode
+		}
 		acc.count++
-		acc.sum += float64(col.Ints[ri])
-		return true
-	case ColFloat:
-		acc.count++
-		acc.sum += col.Floats[ri]
+		b := col.Bytes[ri]
+		if bytes.Compare(b, acc.minB) < 0 {
+			acc.minB, acc.minPlain, acc.minKey = b, col.Plains[ri], col.KeyID
+		}
+		if bytes.Compare(b, acc.maxB) > 0 {
+			acc.maxB, acc.maxPlain, acc.maxKey = b, col.Plains[ri], col.KeyID
+		}
 		return true
 	}
 	return false
 }
 
-func (g *groupByOp) result(acc *groupAcc) (Value, error) {
+// materializeMinMax converts the OPE byte-reference extremes into the
+// Cipher values the Value path (and the final result) carries.
+func (acc *groupAcc) materializeMinMax() {
+	acc.min = Enc(&Cipher{Scheme: algebra.SchemeOPE, KeyID: acc.minKey, Data: acc.minB, Plain: acc.minPlain})
+	acc.max = Enc(&Cipher{Scheme: algebra.SchemeOPE, KeyID: acc.maxKey, Data: acc.maxB, Plain: acc.maxPlain})
+	acc.byteMode = false
+}
+
+// merge folds a gather-mode partial into the receiver, in morsel order:
+// gathered plaintext cells are folded one by one (the exact sequential
+// accumulation), Paillier partial products multiply in (associative modular
+// arithmetic, so the product equals the sequential one), and min/max
+// candidates compare under the same strict rule as row-order adds, so ties
+// keep the earliest morsel's value.
+func (acc *groupAcc) merge(p *groupAcc, ring ringFn) error {
+	if p.count == 0 {
+		return nil
+	}
+	first := acc.count == 0
+	acc.count += p.count
+	switch acc.fn {
+	case sql.AggCount:
+		return nil
+	case sql.AggSum, sql.AggAvg:
+		for _, f := range p.vals {
+			acc.sum += f
+		}
+		if p.phe != nil {
+			if acc.phe == nil {
+				acc.phe, acc.pheC = p.phe, p.pheC // the partial owns its product
+			} else {
+				r, err := ring(acc.pheC.KeyID)
+				if err != nil {
+					return err
+				}
+				r.PK.AddTo(acc.phe, p.phe)
+			}
+		}
+		return nil
+	case sql.AggMin, sql.AggMax:
+		if first {
+			acc.min, acc.max = p.min, p.max
+			acc.byteMode = p.byteMode
+			acc.minB, acc.maxB = p.minB, p.maxB
+			acc.minPlain, acc.maxPlain = p.minPlain, p.maxPlain
+			acc.minKey, acc.maxKey = p.minKey, p.maxKey
+			return nil
+		}
+		if acc.byteMode && p.byteMode {
+			if bytes.Compare(p.minB, acc.minB) < 0 {
+				acc.minB, acc.minPlain, acc.minKey = p.minB, p.minPlain, p.minKey
+			}
+			if bytes.Compare(p.maxB, acc.maxB) > 0 {
+				acc.maxB, acc.maxPlain, acc.maxKey = p.maxB, p.maxPlain, p.maxKey
+			}
+			return nil
+		}
+		if acc.byteMode {
+			acc.materializeMinMax()
+		}
+		if p.byteMode {
+			p.materializeMinMax()
+		}
+		c, err := compareForSort(p.min, acc.min)
+		if err != nil {
+			return err
+		}
+		if c < 0 {
+			acc.min = p.min
+		}
+		c, err = compareForSort(p.max, acc.max)
+		if err != nil {
+			return err
+		}
+		if c > 0 {
+			acc.max = p.max
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unknown aggregate %q", acc.fn)
+}
+
+func (acc *groupAcc) result() (Value, error) {
+	if acc.byteMode {
+		acc.materializeMinMax()
+	}
 	switch acc.fn {
 	case sql.AggCount:
 		return Int(acc.count), nil
@@ -460,78 +731,174 @@ func (g *groupByOp) result(acc *groupAcc) (Value, error) {
 	return Value{}, fmt.Errorf("exec: unknown aggregate %q", acc.fn)
 }
 
-// build drains the child (the group-by is a pipeline breaker) and
-// hash-aggregates it. Group keys are encoded straight from the column
-// vectors (appendCellKey mirrors groupKey byte for byte) and the common
-// aggregates accumulate from the typed vectors; rows are only materialized
-// to pin a new group's key values. Groups emit in first-seen order, and
-// accumulation order per group equals row order, so float summation is
-// bit-identical to the row-at-a-time oracle.
-func (g *groupByOp) build() error {
-	type group struct {
-		keyVals []Value
-		accs    []*groupAcc
-	}
-	groups := make(map[string]*group)
-	var order []string
-	var keyBuf []byte
+// group is one aggregation group: the key values pinned from its first row
+// and one accumulator per aggregate.
+type group struct {
+	keyVals []Value
+	accs    []*groupAcc
+}
 
-	for {
-		b, err := g.child.Next()
-		if err != nil {
+// groupTable hash-aggregates batches: the shared core of the sequential
+// group-by build and of the per-morsel partial tables of the parallel build.
+// Group keys are encoded straight from the column vectors (appendCellKey
+// mirrors groupKey byte for byte); groups are kept in first-seen order.
+type groupTable struct {
+	keyIdx []int
+	aggIdx []int
+	specs  []algebra.AggSpec
+	gather bool
+	ring   ringFn
+	groups map[string]*group
+	order  []string
+	keyBuf []byte
+}
+
+func newGroupTable(keyIdx, aggIdx []int, specs []algebra.AggSpec, gather bool, ring ringFn) *groupTable {
+	return &groupTable{
+		keyIdx: keyIdx, aggIdx: aggIdx, specs: specs,
+		gather: gather, ring: ring,
+		groups: make(map[string]*group),
+	}
+}
+
+// addBatch accumulates one batch, row by row in row order.
+func (gt *groupTable) addBatch(b *Batch) error {
+	var err error
+	for ri := 0; ri < b.N; ri++ {
+		gt.keyBuf = gt.keyBuf[:0]
+		for _, ix := range gt.keyIdx {
+			gt.keyBuf, err = appendCellKey(gt.keyBuf, &b.Cols[ix], ri)
+			if err != nil {
+				return err
+			}
+			gt.keyBuf = append(gt.keyBuf, '\x1f')
+		}
+		hk := string(gt.keyBuf)
+		grp, ok := gt.groups[hk]
+		if !ok {
+			grp = &group{keyVals: make([]Value, len(gt.keyIdx)), accs: make([]*groupAcc, len(gt.specs))}
+			for i, ix := range gt.keyIdx {
+				grp.keyVals[i] = b.Cols[ix].Value(ri)
+			}
+			for i, sp := range gt.specs {
+				grp.accs[i] = &groupAcc{fn: sp.Func}
+			}
+			gt.groups[hk] = grp
+			gt.order = append(gt.order, hk)
+		}
+		for i, sp := range gt.specs {
+			acc := grp.accs[i]
+			if sp.Star {
+				if err := acc.add(Value{}, gt.gather, gt.ring); err != nil {
+					return err
+				}
+				continue
+			}
+			col := &b.Cols[gt.aggIdx[i]]
+			if acc.addFast(col, ri, gt.gather) {
+				continue
+			}
+			if err := acc.add(col.Value(ri), gt.gather, gt.ring); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergeFrom folds a partial table into the receiver. Called once per morsel
+// in ascending morsel order, it reproduces the sequential build exactly:
+// groups appear in global first-seen order (morsel order is row order) and
+// every accumulator folds its partials in row order.
+func (gt *groupTable) mergeFrom(p *groupTable) error {
+	for _, hk := range p.order {
+		pg := p.groups[hk]
+		grp, ok := gt.groups[hk]
+		if !ok {
+			grp = &group{keyVals: pg.keyVals, accs: make([]*groupAcc, len(pg.accs))}
+			for i, pa := range pg.accs {
+				grp.accs[i] = &groupAcc{fn: pa.fn}
+			}
+			gt.groups[hk] = grp
+			gt.order = append(gt.order, hk)
+		}
+		for i := range grp.accs {
+			if err := grp.accs[i].merge(pg.accs[i], gt.ring); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type groupByOp struct {
+	child  Operator // input pipeline; nil when par is set
+	e      *Executor
+	schema []algebra.Attr
+	keyIdx []int
+	aggIdx []int
+	specs  []algebra.AggSpec
+	batch  int
+	ring   ringFn
+	par    *chain // morsel-parallel input chain (nil = sequential child)
+
+	built bool
+	out   [][]Value
+	pos   int
+}
+
+func (g *groupByOp) Schema() []algebra.Attr { return g.schema }
+
+func (g *groupByOp) Open() error {
+	g.built, g.out, g.pos = false, nil, 0
+	if g.par != nil {
+		return nil
+	}
+	return g.child.Open()
+}
+
+func (g *groupByOp) Close() error {
+	if g.par != nil {
+		return nil
+	}
+	return g.child.Close()
+}
+
+// build drains the input (the group-by is a pipeline breaker) and
+// hash-aggregates it. The sequential path feeds one fold-mode groupTable
+// batch by batch; the parallel path aggregates per-morsel partial tables on
+// the worker pool and merges them in morsel order (buildParallel). Either
+// way, groups emit in first-seen order and accumulation order per group
+// equals row order, so float summation is bit-identical to the
+// row-at-a-time oracle.
+func (g *groupByOp) build() error {
+	gt := newGroupTable(g.keyIdx, g.aggIdx, g.specs, false, g.ring)
+	if g.par != nil {
+		if err := g.buildParallel(gt); err != nil {
 			return err
 		}
-		if b == nil {
-			break
-		}
-		for ri := 0; ri < b.N; ri++ {
-			keyBuf = keyBuf[:0]
-			for _, ix := range g.keyIdx {
-				keyBuf, err = appendCellKey(keyBuf, &b.Cols[ix], ri)
-				if err != nil {
-					return err
-				}
-				keyBuf = append(keyBuf, '\x1f')
+	} else {
+		for {
+			b, err := g.child.Next()
+			if err != nil {
+				return err
 			}
-			hk := string(keyBuf)
-			grp, ok := groups[hk]
-			if !ok {
-				grp = &group{keyVals: make([]Value, len(g.keyIdx)), accs: make([]*groupAcc, len(g.specs))}
-				for i, ix := range g.keyIdx {
-					grp.keyVals[i] = b.Cols[ix].Value(ri)
-				}
-				for i, sp := range g.specs {
-					grp.accs[i] = &groupAcc{fn: sp.Func}
-				}
-				groups[hk] = grp
-				order = append(order, hk)
+			if b == nil {
+				break
 			}
-			for i, sp := range g.specs {
-				acc := grp.accs[i]
-				if sp.Star {
-					if err := g.add(acc, Value{}); err != nil {
-						return err
-					}
-					continue
-				}
-				col := &b.Cols[g.aggIdx[i]]
-				if g.addFast(acc, col, ri) {
-					continue
-				}
-				if err := g.add(acc, col.Value(ri)); err != nil {
-					return err
-				}
+			if err := gt.addBatch(b); err != nil {
+				return err
 			}
 		}
 	}
 
-	g.out = make([][]Value, 0, len(order))
-	for _, hk := range order {
-		grp := groups[hk]
+	g.out = make([][]Value, 0, len(gt.order))
+	for _, hk := range gt.order {
+		grp := gt.groups[hk]
 		row := make([]Value, 0, len(grp.keyVals)+len(g.specs))
 		row = append(row, grp.keyVals...)
 		for i := range g.specs {
-			v, err := g.result(grp.accs[i])
+			v, err := grp.accs[i].result()
 			if err != nil {
 				return err
 			}
@@ -717,24 +1084,12 @@ type decryptOp struct {
 	child Operator
 	e     *Executor
 	cols  []decCol
-	rings map[string]*crypto.KeyRing
+	ring  ringFn
 }
 
 func (o *decryptOp) Schema() []algebra.Attr { return o.child.Schema() }
 func (o *decryptOp) Open() error            { return o.child.Open() }
 func (o *decryptOp) Close() error           { return o.child.Close() }
-
-func (o *decryptOp) ring(keyID string) (*crypto.KeyRing, error) {
-	if r, ok := o.rings[keyID]; ok {
-		return r, nil
-	}
-	r, err := o.e.Keys.Get(keyID)
-	if err != nil {
-		return nil, err
-	}
-	o.rings[keyID] = r
-	return r, nil
-}
 
 // Next decrypts column-wise: a ciphertext-byte column decrypts through one
 // batched call straight off its payload vector (the scheme and key are

@@ -1,0 +1,260 @@
+package exec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/exec"
+	"mpq/internal/planner"
+	"mpq/internal/sql"
+	"mpq/internal/tpch"
+)
+
+// TestMorselParallelMatchesOracleTPCH runs the full 22-query TPC-H workload
+// morsel-parallel — several worker counts, aligned and unaligned morsel
+// lengths — and diffs every result row for row against the row-at-a-time
+// materializing oracle. Morsel-order merging must make parallel execution
+// observationally identical: same rows, same order, and bit-identical
+// floating-point accumulation (group-by partials gather SUM/AVG cells so the
+// merge reproduces the sequential fold exactly). Run under -race in CI, this
+// is also the data-race check for shared chains, join indexes, and the
+// columnar cache.
+func TestMorselParallelMatchesOracleTPCH(t *testing.T) {
+	const sf = 0.001
+	cat := tpch.Catalog(sf)
+	tables := tpch.Generate(sf, 99)
+	pl := planner.New(cat)
+
+	oracle := exec.NewExecutor()
+	oracle.Materializing = true
+	for name, tbl := range tables {
+		oracle.Tables[name] = tbl
+	}
+	type planned struct {
+		num  int
+		plan *planner.Plan
+		want *exec.Table
+	}
+	var qs []planned
+	for _, q := range tpch.Queries() {
+		plan, err := pl.PlanSQL(q.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := oracle.RunPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, planned{num: q.Num, plan: plan, want: want})
+	}
+
+	// Morsel 64 is word-aligned (null bitmaps slice zero-copy); 100 is not
+	// (bitmap windows shift), and both are far below the table sizes so
+	// every chain actually splits. Workers 1 must behave exactly like the
+	// sequential build (the parallel paths are disabled), 2 and 8 exercise
+	// fewer and more workers than morsels per query.
+	for _, workers := range []int{1, 2, 8} {
+		for _, morsel := range []int{64, 100} {
+			e := exec.NewExecutor()
+			e.Workers = workers
+			e.MorselRows = morsel
+			for name, tbl := range tables {
+				e.Tables[name] = tbl
+			}
+			for _, q := range qs {
+				got, _, err := e.RunPlan(q.plan)
+				if err != nil {
+					t.Fatalf("workers=%d morsel=%d Q%d: %v", workers, morsel, q.num, err)
+				}
+				if got.Len() != q.want.Len() {
+					t.Fatalf("workers=%d morsel=%d Q%d: %d rows, want %d", workers, morsel, q.num, got.Len(), q.want.Len())
+				}
+				for i := range q.want.Rows {
+					g, w := exec.DisplayString(got.Rows[i]), exec.DisplayString(q.want.Rows[i])
+					if g != w {
+						t.Fatalf("workers=%d morsel=%d Q%d row %d differs:\ngot:  %s\nwant: %s", workers, morsel, q.num, i, g, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMorselParallelBatchSizeInvariance proves batch-size invariance
+// survives morsel parallelism: degenerate single-row batches, a small odd
+// size, and a batch larger than every relation all produce oracle-identical
+// rows with workers and small morsels forced.
+func TestMorselParallelBatchSizeInvariance(t *testing.T) {
+	const sf = 0.001
+	cat := tpch.Catalog(sf)
+	tables := tpch.Generate(sf, 99)
+	pl := planner.New(cat)
+
+	oracle := exec.NewExecutor()
+	oracle.Materializing = true
+	for name, tbl := range tables {
+		oracle.Tables[name] = tbl
+	}
+	for _, size := range []int{1, 7, 1 << 20} {
+		e := exec.NewExecutor()
+		e.Workers = 4
+		e.MorselRows = 100
+		e.BatchSize = size
+		for name, tbl := range tables {
+			e.Tables[name] = tbl
+		}
+		for _, q := range tpch.Queries() {
+			plan, err := pl.PlanSQL(q.SQL)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, err := oracle.RunPlan(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := e.RunPlan(plan)
+			if err != nil {
+				t.Fatalf("batch=%d Q%d: %v", size, q.Num, err)
+			}
+			diffTables(t, got, want)
+		}
+	}
+}
+
+// TestMorselParallelErrorDeterminism checks that a data error surfaces
+// deterministically under parallel execution: the first failing row in row
+// order decides the error, regardless of which worker hits an error first.
+func TestMorselParallelErrorDeterminism(t *testing.T) {
+	a := algebra.A("R", "a")
+	tbl := exec.NewTable([]algebra.Attr{a})
+	for i := 0; i < 1000; i++ {
+		v := exec.Int(int64(i))
+		if i >= 500 {
+			v = exec.String("boom") // comparison with an int literal fails
+		}
+		if err := tbl.Append([]exec.Value{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan := algebra.NewSelect(
+		algebra.NewBase("R", "host", []algebra.Attr{a}, 1000, nil),
+		&algebra.CmpAV{A: a, Op: sql.OpGt, V: sql.NumberValue(10)}, 0.5)
+
+	sequential := exec.NewExecutor()
+	sequential.Tables["R"] = tbl
+	_, seqErr := sequential.Run(plan)
+	if seqErr == nil {
+		t.Fatal("sequential run did not fail")
+	}
+
+	par := exec.NewExecutor()
+	par.Tables["R"] = tbl
+	par.Workers = 8
+	par.MorselRows = 64
+	for round := 0; round < 5; round++ {
+		_, err := par.Run(plan)
+		if err == nil {
+			t.Fatal("parallel run did not fail")
+		}
+		if err.Error() != seqErr.Error() {
+			t.Fatalf("parallel error %q, want %q", err, seqErr)
+		}
+	}
+}
+
+// TestColumnarCacheInvalidation covers the cached columnar store: the first
+// scan builds the column vectors, Append invalidates them, and the next
+// scan serves the appended rows (no stale cache).
+func TestColumnarCacheInvalidation(t *testing.T) {
+	a, b := algebra.A("R", "a"), algebra.A("R", "b")
+	tbl := exec.NewTable([]algebra.Attr{a, b})
+	for i := 0; i < 10; i++ {
+		if err := tbl.Append([]exec.Value{exec.Int(int64(i)), exec.String(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := exec.NewExecutor()
+	e.Tables["R"] = tbl
+	scan := algebra.NewBase("R", "host", []algebra.Attr{a, b}, 10, nil)
+
+	out, err := e.Run(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("first scan: %d rows, want 10", out.Len())
+	}
+
+	if err := tbl.Append([]exec.Value{exec.Int(99), exec.String("new")}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = e.Run(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 11 {
+		t.Fatalf("post-append scan: %d rows, want 11 (stale columnar cache?)", out.Len())
+	}
+	last := out.Rows[10]
+	if last[0].I != 99 || last[1].S != "new" {
+		t.Fatalf("appended row not served: %v", last)
+	}
+
+	// An Append landing between two Next calls of an open scan must not
+	// break the scan: colScan bounds itself by the snapshot its vectors
+	// were built at, so it serves exactly the rows that existed at Open
+	// (slicing past the vectors would panic).
+	e2 := exec.NewExecutor()
+	e2.BatchSize = 4 // several Next calls per scan
+	e2.Tables["R"] = tbl
+	op, err := e2.Build(scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for {
+		b, err := op.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		seen += b.N
+		if err := tbl.Append([]exec.Value{exec.Int(int64(seen)), exec.String("mid")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := op.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 11 {
+		t.Fatalf("scan with mid-scan appends served %d rows, want the 11-row snapshot", seen)
+	}
+
+	// The cache itself must be effective: Columns returns the same backing
+	// vectors until invalidated.
+	c1, err := tbl.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := tbl.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c1[0] != &c2[0] {
+		t.Fatal("columnar cache rebuilt without invalidation")
+	}
+	tbl.InvalidateColumns()
+	c3, err := tbl.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &c1[0] == &c3[0] {
+		t.Fatal("InvalidateColumns did not drop the cache")
+	}
+}

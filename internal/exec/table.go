@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"mpq/internal/algebra"
 )
@@ -11,9 +12,69 @@ import (
 // Table is an in-memory relation: a schema of qualified attributes and rows
 // of values in schema order. Schemas may contain repeated attributes
 // (multiple aggregates over one attribute); columns are positional.
+//
+// A table additionally carries a lazily built columnar representation
+// (Columns): immutable column vectors every scan serves zero-copy windows
+// of, so repeated queries over one relation pay the row→column transposition
+// once instead of once per scan. The cache is guarded by a mutex (tables are
+// shared by concurrent executor clones) and invalidated by Append; callers
+// that mutate Rows in place must call InvalidateColumns themselves.
 type Table struct {
 	Schema []algebra.Attr
 	Rows   [][]Value
+
+	colMu   sync.Mutex
+	cols    []Column
+	colRows int // len(Rows) the cache was built at
+}
+
+// Columns returns the table's cached column-vector representation, building
+// it on first use (and rebuilding it when rows were appended since). The
+// returned columns are immutable and shared: callers must never write
+// through them. A ragged row — one whose width does not match the schema —
+// fails the build, exactly as it would fail a scan.
+func (t *Table) Columns() ([]Column, error) {
+	cols, _, err := t.snapshotColumns()
+	return cols, err
+}
+
+// snapshotColumns returns the cached columns together with the row count
+// they were built at. Scans must bound themselves by that count — never by
+// the live len(Rows), which a concurrent Append may have grown past the
+// vectors.
+func (t *Table) snapshotColumns() ([]Column, int, error) {
+	t.colMu.Lock()
+	defer t.colMu.Unlock()
+	if t.cols != nil && t.colRows == len(t.Rows) {
+		return t.cols, t.colRows, nil
+	}
+	width := len(t.Schema)
+	for _, r := range t.Rows {
+		if len(r) != width {
+			return nil, 0, fmt.Errorf("exec: scanned row width %d != schema width %d", len(r), width)
+		}
+	}
+	rows := t.Rows
+	cols := make([]Column, width)
+	buf := make([]Value, len(rows))
+	for ci := 0; ci < width; ci++ {
+		for ri, r := range rows {
+			buf[ri] = r[ci]
+		}
+		cols[ci] = NewColumn(buf)
+	}
+	t.cols, t.colRows = cols, len(rows)
+	return cols, len(rows), nil
+}
+
+// InvalidateColumns drops the cached columnar representation. Appends are
+// detected automatically (the cache records the row count it was built at);
+// callers that mutate Rows any other way — in-place cell rewrites, length-
+// preserving slice surgery — must call it before the next scan.
+func (t *Table) InvalidateColumns() {
+	t.colMu.Lock()
+	t.cols, t.colRows = nil, 0
+	t.colMu.Unlock()
 }
 
 // NewTable returns an empty table with the given schema.
@@ -40,6 +101,9 @@ func (t *Table) Append(row []Value) error {
 		return fmt.Errorf("exec: row width %d != schema width %d", len(row), len(t.Schema))
 	}
 	t.Rows = append(t.Rows, row)
+	// No InvalidateColumns needed: the cache records the row count it was
+	// built at, so the next scan rebuilds it (appends never mutate the
+	// rows the stale vectors cover).
 	return nil
 }
 

@@ -1,0 +1,133 @@
+package exec
+
+// TopK maintains the first k rows of the sorted order over a stream: a
+// bounded max-heap keyed by the sort specs with the arrival index as the
+// tiebreaker, so Rows() reproduces a stable sort followed by truncation —
+// among equal keys, earlier rows win — without ever holding more than k rows.
+// The streaming ORDER BY + LIMIT path (TPC-H Q2/Q3/Q10's top-k shape) uses
+// it instead of draining and sorting the whole result.
+type TopK struct {
+	specs []SortSpec
+	k     int
+	rows  [][]Value
+	seqs  []int
+	n     int // rows seen (the next arrival index)
+	err   error
+}
+
+// NewTopK returns a top-k collector for the given ordering and limit k ≥ 0.
+func NewTopK(specs []SortSpec, k int) *TopK {
+	return &TopK{specs: specs, k: k}
+}
+
+// worse reports whether row i sorts strictly after row j (i.e. i is the
+// worse candidate): by the sort specs first, by arrival order on ties.
+// Comparison errors (incomparable kinds) latch into t.err.
+func (t *TopK) worse(i, j int) bool {
+	for _, sp := range t.specs {
+		c, err := compareForSort(t.rows[i][sp.Index], t.rows[j][sp.Index])
+		if err != nil {
+			if t.err == nil {
+				t.err = err
+			}
+			return false
+		}
+		if c != 0 {
+			if sp.Desc {
+				return c < 0
+			}
+			return c > 0
+		}
+	}
+	return t.seqs[i] > t.seqs[j]
+}
+
+// Add offers one row to the collector. The row is retained (not copied).
+func (t *TopK) Add(row []Value) error {
+	if t.err != nil {
+		return t.err
+	}
+	seq := t.n
+	t.n++
+	if t.k == 0 {
+		return nil
+	}
+	if len(t.rows) < t.k {
+		t.rows = append(t.rows, row)
+		t.seqs = append(t.seqs, seq)
+		t.up(len(t.rows) - 1)
+		return t.err
+	}
+	// The root is the worst retained row; a newcomer displaces it only by
+	// sorting strictly before it (its later arrival index loses ties).
+	t.rows = append(t.rows, row)
+	t.seqs = append(t.seqs, seq)
+	replace := t.worse(0, t.k)
+	if t.err != nil {
+		t.rows, t.seqs = t.rows[:t.k], t.seqs[:t.k]
+		return t.err
+	}
+	if replace {
+		t.rows[0], t.seqs[0] = t.rows[t.k], t.seqs[t.k]
+	}
+	t.rows, t.seqs = t.rows[:t.k], t.seqs[:t.k]
+	if replace {
+		t.down(0)
+	}
+	return t.err
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worse(i, parent) {
+			return
+		}
+		t.swap(i, parent)
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(t.rows) && t.worse(l, worst) {
+			worst = l
+		}
+		if r < len(t.rows) && t.worse(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.swap(i, worst)
+		i = worst
+	}
+}
+
+func (t *TopK) swap(i, j int) {
+	t.rows[i], t.rows[j] = t.rows[j], t.rows[i]
+	t.seqs[i], t.seqs[j] = t.seqs[j], t.seqs[i]
+}
+
+// Rows returns the retained rows in final sorted order (sort specs, ties by
+// arrival): exactly the first k rows a stable full sort would produce.
+func (t *TopK) Rows() ([][]Value, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	// Heap-sort in place: repeatedly move the worst row to the back.
+	out := make([][]Value, len(t.rows))
+	for n := len(t.rows); n > 0; n-- {
+		out[n-1] = t.rows[0]
+		t.rows[0], t.seqs[0] = t.rows[n-1], t.seqs[n-1]
+		t.rows, t.seqs = t.rows[:n-1], t.seqs[:n-1]
+		t.down(0)
+		if t.err != nil {
+			return nil, t.err
+		}
+	}
+	t.rows, t.seqs = nil, nil
+	return out, nil
+}

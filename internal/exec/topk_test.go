@@ -1,0 +1,82 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"mpq/internal/algebra"
+)
+
+// TestTopKMatchesStableSort cross-checks the bounded heap against the
+// reference it replaces — stable sort then truncate — over random multisets
+// with heavy ties (the stability-sensitive case) and multi-key orderings.
+func TestTopKMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := []SortSpec{{Index: 0, Desc: false}, {Index: 1, Desc: true}}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		k := rng.Intn(30)
+		rows := make([][]Value, n)
+		for i := range rows {
+			// Few distinct keys force ties; the payload column identifies
+			// each row so stability violations are visible.
+			rows[i] = []Value{Int(int64(rng.Intn(5))), Float(float64(rng.Intn(3))), Int(int64(i))}
+		}
+
+		want := NewTable([]algebra.Attr{algebra.A("R", "a"), algebra.A("R", "b"), algebra.A("R", "id")})
+		want.Rows = append(want.Rows, rows...)
+		if err := want.SortBy(specs); err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Rows) > k {
+			want.Rows = want.Rows[:k]
+		}
+
+		tk := NewTopK(specs, k)
+		for _, r := range rows {
+			if err := tk.Add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := tk.Rows()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want.Rows) {
+			t.Fatalf("trial %d (n=%d k=%d): %d rows, want %d", trial, n, k, len(got), len(want.Rows))
+		}
+		for i := range got {
+			if DisplayString(got[i]) != DisplayString(want.Rows[i]) {
+				t.Fatalf("trial %d (n=%d k=%d) row %d:\ngot:  %s\nwant: %s",
+					trial, n, k, i, DisplayString(got[i]), DisplayString(want.Rows[i]))
+			}
+		}
+	}
+}
+
+// TestTopKErrors: incomparable rows must surface the comparison error, and
+// a zero limit collects nothing.
+func TestTopKErrors(t *testing.T) {
+	specs := []SortSpec{{Index: 0}}
+	tk := NewTopK(specs, 5)
+	if err := tk.Add([]Value{Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Add([]Value{String("x")}); err == nil {
+		t.Fatal("incomparable rows accepted")
+	}
+	if _, err := tk.Rows(); err == nil {
+		t.Fatal("Rows after comparison error did not fail")
+	}
+
+	zero := NewTopK(specs, 0)
+	for i := 0; i < 10; i++ {
+		if err := zero.Add([]Value{Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := zero.Rows()
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("limit 0: rows=%d err=%v", len(rows), err)
+	}
+}
