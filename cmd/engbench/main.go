@@ -68,14 +68,20 @@ type report struct {
 	Workers     []int   `json:"workers"`
 	DurationSec float64 `json:"duration_per_cell_sec"`
 	// RTTMs and LinkMBps describe the simulated wide-area links between
-	// subjects; CPUs and GOMAXPROCS record the host parallelism. Fragment
-	// concurrency overlaps link latency even on one core, while CPU-bound
-	// speedups are bounded by GOMAXPROCS.
+	// subjects; CPUs, GOMAXPROCS, and GoVersion record the host shape the
+	// numbers were measured on. Fragment concurrency overlaps link latency
+	// even on one core, while CPU-bound speedups are bounded by GOMAXPROCS.
 	RTTMs      float64 `json:"link_rtt_ms"`
 	LinkMBps   float64 `json:"link_mbps"`
 	CPUs       int     `json:"cpus"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
 	Results    []cell  `json:"results"`
+	// Metrics is the engine registry snapshot taken after the batch-cached
+	// measurement (every series, labels rendered into the key): lifecycle
+	// counters, phase latency histograms, plan-cache and crypto totals for
+	// the measured process.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Interior holds the centralized interior microbenchmark (-interior):
 	// per query, mean plan-execution latency of the columnar batch
 	// pipeline vs the row-at-a-time materializing oracle on plaintext
@@ -103,6 +109,7 @@ func main() {
 		batch    = flag.Int("batch", 0, fmt.Sprintf("pipeline batch size in rows (0 = default %d)", exec.DefaultBatchSize))
 		workersF = flag.String("workers", "1", "comma-separated morsel worker pool sizes to sweep (1 = single-threaded)")
 		stream   = flag.Bool("stream", false, "also measure Engine.QueryStream (time-to-first-row)")
+		explainF = flag.Bool("explain", false, "print the EXPLAIN ANALYZE tree of each benchmark query (batch pipeline, cached plans) before measuring")
 		interior = flag.Bool("interior", false, "also record the centralized interior microbenchmark (columnar vs row oracle)")
 		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
 		mbps     = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
@@ -152,6 +159,15 @@ func main() {
 		LinkMBps:      *mbps,
 		CPUs:          runtime.NumCPU(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+	}
+	if rep.GOMAXPROCS == 1 {
+		for _, w := range workerCounts {
+			if w > 1 {
+				log.Printf("engbench: warning: -workers %d on a 1-CPU host (GOMAXPROCS=1): morsel workers will time-slice one core, so the wN cells cannot show parallel speedup", w)
+				break
+			}
+		}
 	}
 	var delay *distsim.LinkDelay
 	if *rtt > 0 {
@@ -208,6 +224,15 @@ func main() {
 				}
 			}
 		}
+		if *explainF && c.name == "batch-cached" {
+			for i, s := range sqls {
+				ex, err := eng.Explain(s)
+				if err != nil {
+					log.Fatalf("engbench: explain Q%d: %v", queryNums[i], err)
+				}
+				fmt.Fprintf(os.Stderr, "--- EXPLAIN ANALYZE Q%d ---\n%s", queryNums[i], ex.Text())
+			}
+		}
 		for _, n := range clientCounts {
 			res := run(eng, sqls, n, *duration, c.stream)
 			res.Config = c.name
@@ -217,6 +242,12 @@ func main() {
 				extra = fmt.Sprintf("  %8.2f ms-to-first-row", res.TTFRMs)
 			}
 			log.Printf("%-20s clients=%d  %7.2f q/s  %8.2f ms/query%s", c.name, n, res.QPS, res.MeanMs, extra)
+		}
+		// Keep the registry snapshot of the flagship configuration (falling
+		// back to whichever ran last): the per-process crypto totals, phase
+		// histograms, and cache counters behind the measured numbers.
+		if snap := eng.Metrics().Snapshot(); rep.Metrics == nil || c.name == "batch-cached" {
+			rep.Metrics = snap
 		}
 	}
 

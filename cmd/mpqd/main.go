@@ -6,14 +6,22 @@
 //
 // Endpoints:
 //
-//	POST /query         {"sql": "select ..."}
+//	POST /query         {"sql": "select ..."} — append ?trace=1 to execute
+//	                    traced and receive the annotated plan (operator
+//	                    rows/batches/time, transfer edges) in the response
 //	POST /query/stream  {"sql": "select ..."} — chunked NDJSON: a headers
 //	                    line, one rows line per result batch as the batch
 //	                    pipeline produces it, and a final stats line
+//	POST /explain       {"sql": "select ..."} — execute traced, return only
+//	                    the annotated plan (JSON; ?format=text for the tree)
 //	POST /grant         {"relation": "lineitem", "subject": "X", "plain": [...], "enc": [...]}
 //	POST /revoke        {"relation": "lineitem", "subject": "X"}
-//	GET  /stats
+//	GET  /stats         engine counters plus the full metrics snapshot
+//	GET  /metrics       Prometheus text exposition
 //	GET  /healthz
+//
+// With -pprof the standard net/http/pprof handlers are mounted under
+// /debug/pprof/.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -49,6 +58,7 @@ func main() {
 		paillier   = flag.Int("paillier-bits", crypto.DefaultPaillierBits, "Paillier prime size in bits")
 		rtt        = flag.Duration("rtt", 0, "simulated inter-subject link RTT (0 disables)")
 		mbps       = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -75,17 +85,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("mpqd: %v", err)
 	}
+	eng.Metrics().GoRuntimeCollectors()
 
 	s := &server{eng: eng}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /query/stream", s.handleQueryStream)
-	mux.HandleFunc("POST /grant", s.handleGrant)
-	mux.HandleFunc("POST /revoke", s.handleRevoke)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux := s.routes(*pprofOn)
+	if *pprofOn {
+		log.Printf("mpqd: pprof enabled under /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: mux,
@@ -103,6 +109,32 @@ type server struct {
 	eng *engine.Engine
 }
 
+// routes builds the handler mux. pprof handlers are mounted explicitly on
+// this mux (importing the package only registers them on
+// http.DefaultServeMux, which mpqd does not serve) and stay off unless asked
+// for: profiling endpoints expose internals no production listener should.
+func (s *server) routes(pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /query/stream", s.handleQueryStream)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /grant", s.handleGrant)
+	mux.HandleFunc("POST /revoke", s.handleRevoke)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	if pprofOn {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
 type queryRequest struct {
 	SQL string `json:"sql"`
 }
@@ -118,6 +150,8 @@ type queryResponse struct {
 	BytesShipped int64      `json:"bytes_shipped"`
 	PlanMs       float64    `json:"plan_ms"`
 	ExecMs       float64    `json:"exec_ms"`
+	// Trace is the annotated plan of a traced run (?trace=1 only).
+	Trace *engine.Explanation `json:"trace,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -129,7 +163,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing sql")
 		return
 	}
-	resp, err := s.eng.Query(req.SQL)
+	var (
+		resp *engine.Response
+		ex   *engine.Explanation
+		err  error
+	)
+	if r.URL.Query().Get("trace") == "1" {
+		resp, ex, err = s.eng.QueryTraced(req.SQL)
+	} else {
+		resp, err = s.eng.Query(req.SQL)
+	}
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
@@ -157,7 +200,32 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		BytesShipped: resp.BytesShipped(),
 		PlanMs:       float64(resp.PlanTime.Microseconds()) / 1e3,
 		ExecMs:       float64(resp.ExecTime.Microseconds()) / 1e3,
+		Trace:        ex,
 	})
+}
+
+// handleExplain executes the query traced and returns only the annotated
+// plan: JSON by default, the rendered tree with ?format=text.
+func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.SQL == "" {
+		writeError(w, http.StatusBadRequest, "missing sql")
+		return
+	}
+	ex, err := s.eng.Explain(req.SQL)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, ex.Text())
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
 }
 
 // streamStats is the trailing NDJSON line of a streamed query.
@@ -281,8 +349,28 @@ func (s *server) handleRevoke(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"authz_version": v, "revoked": revoked})
 }
 
+// statsResponse keeps the original engine counter keys at the top level and
+// adds the full registry snapshot (every series, labels rendered into the
+// key) under "metrics".
+type statsResponse struct {
+	engine.Stats
+	Metrics map[string]float64 `json:"metrics"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.eng.Stats())
+	writeJSON(w, http.StatusOK, statsResponse{
+		Stats:   s.eng.Stats(),
+		Metrics: s.eng.Metrics().Snapshot(),
+	})
+}
+
+// handleMetrics serves the Prometheus text exposition of the engine
+// registry.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.eng.Metrics().WritePrometheus(w); err != nil {
+		log.Printf("mpqd: writing metrics: %v", err)
+	}
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, into any) bool {

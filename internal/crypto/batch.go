@@ -110,6 +110,8 @@ func (d *Deterministic) EncryptArena(pt []byte, bounds []int) ([]byte, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	cryptoStats.encryptBatches.Add(1)
+	cryptoStats.detEncrypts.Add(uint64(n))
 	out := make([]byte, len(pt)+n*aes.BlockSize)
 	mac := hmac.New(sha256.New, d.macKey)
 	var sum [sha256.Size]byte
@@ -133,6 +135,8 @@ func (r *Randomized) EncryptArena(pt []byte, bounds []int) ([]byte, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	cryptoStats.encryptBatches.Add(1)
+	cryptoStats.rndEncrypts.Add(uint64(n))
 	out := make([]byte, len(pt)+n*aes.BlockSize)
 	nonces := make([]byte, aes.BlockSize*n)
 	if _, err := io.ReadFull(rand.Reader, nonces); err != nil {
@@ -171,6 +175,8 @@ func (r *Randomized) DecryptBatch(cts [][]byte) ([][]byte, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
+	cryptoStats.decryptBatches.Add(1)
+	cryptoStats.rndDecrypts.Add(uint64(len(cts)))
 	total := 0
 	for _, ct := range cts {
 		if len(ct) < aes.BlockSize {
@@ -215,6 +221,8 @@ func (d *Deterministic) DecryptBatch(cts [][]byte) ([][]byte, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
+	cryptoStats.decryptBatches.Add(1)
+	cryptoStats.detDecrypts.Add(uint64(len(cts)))
 	total := 0
 	for _, ct := range cts {
 		if len(ct) < aes.BlockSize {
@@ -262,6 +270,8 @@ func (o *OPE) EncryptBatch(pts []uint64) [][]byte {
 	if len(pts) == 0 {
 		return nil
 	}
+	cryptoStats.encryptBatches.Add(1)
+	cryptoStats.opeEncrypts.Add(uint64(len(pts)))
 	arena := make([]byte, OPECiphertextSize*len(pts))
 	out := make([][]byte, len(pts))
 	mac := hmac.New(sha256.New, o.key)
@@ -280,6 +290,8 @@ func (o *OPE) DecryptBatch(cts [][]byte) ([]uint64, error) {
 	if len(cts) == 0 {
 		return nil, nil
 	}
+	cryptoStats.decryptBatches.Add(1)
+	cryptoStats.opeDecrypts.Add(uint64(len(cts)))
 	out := make([]uint64, len(cts))
 	mac := hmac.New(sha256.New, o.key)
 	var sum [sha256.Size]byte

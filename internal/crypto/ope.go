@@ -47,6 +47,7 @@ func (o *OPE) prf16(pt uint64) uint16 {
 // Encrypt maps a 64-bit order-preserving plaintext encoding to its
 // ciphertext. Ciphertexts compare lexicographically in plaintext order.
 func (o *OPE) Encrypt(pt uint64) []byte {
+	cryptoStats.opeEncrypts.Add(1)
 	out := make([]byte, OPECiphertextSize)
 	binary.BigEndian.PutUint64(out[:8], pt)
 	binary.BigEndian.PutUint16(out[8:], o.prf16(pt))
@@ -55,6 +56,7 @@ func (o *OPE) Encrypt(pt uint64) []byte {
 
 // Decrypt recovers the plaintext encoding, verifying the PRF filler.
 func (o *OPE) Decrypt(ct []byte) (uint64, error) {
+	cryptoStats.opeDecrypts.Add(1)
 	if len(ct) != OPECiphertextSize {
 		return 0, ErrCiphertext
 	}

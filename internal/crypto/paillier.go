@@ -98,6 +98,7 @@ func (p *Paillier) encodeSigned(m *big.Int) *big.Int {
 // Encrypt encrypts a signed integer message. The message magnitude must be
 // below n/2 for unambiguous signed decoding.
 func (p *Paillier) Encrypt(m *big.Int) (*big.Int, error) {
+	cryptoStats.pheEncrypts.Add(1)
 	half := new(big.Int).Rsh(p.N, 1)
 	if new(big.Int).Abs(m).Cmp(half) >= 0 {
 		return nil, fmt.Errorf("crypto: paillier: message magnitude exceeds n/2")
@@ -119,6 +120,7 @@ func (p *Paillier) Encrypt(m *big.Int) (*big.Int, error) {
 
 // Decrypt recovers the signed message of a ciphertext.
 func (p *Paillier) Decrypt(c *big.Int) (*big.Int, error) {
+	cryptoStats.pheDecrypts.Add(1)
 	if !p.HasPrivate() {
 		return nil, ErrNoPrivateKey
 	}

@@ -199,11 +199,14 @@ func (p *Paillier) randomizer() (*big.Int, error) {
 	if pre := p.pre.Load(); pre != nil {
 		select {
 		case rn := <-pre.pool:
+			cryptoStats.poolHits.Add(1)
 			return rn, nil
 		default:
 		}
+		cryptoStats.poolMisses.Add(1)
 		return pre.newRandomizer()
 	}
+	cryptoStats.poolMisses.Add(1)
 	var r *big.Int
 	for {
 		var err error
@@ -226,6 +229,8 @@ func (p *Paillier) EncryptBatch(ms []*big.Int) ([]*big.Int, error) {
 	if len(ms) == 0 {
 		return nil, nil
 	}
+	cryptoStats.encryptBatches.Add(1)
+	cryptoStats.pheEncrypts.Add(uint64(len(ms)))
 	half := new(big.Int).Rsh(p.N, 1)
 	for _, m := range ms {
 		if new(big.Int).Abs(m).Cmp(half) >= 0 {

@@ -54,6 +54,7 @@ func NewRandomized(master []byte) (*Randomized, error) {
 
 // Encrypt encrypts pt with a random nonce. The nonce is prepended.
 func (r *Randomized) Encrypt(pt []byte) ([]byte, error) {
+	cryptoStats.rndEncrypts.Add(1)
 	out := make([]byte, aes.BlockSize+len(pt))
 	if _, err := io.ReadFull(rand.Reader, out[:aes.BlockSize]); err != nil {
 		return nil, err
@@ -64,6 +65,7 @@ func (r *Randomized) Encrypt(pt []byte) ([]byte, error) {
 
 // Decrypt reverses Encrypt.
 func (r *Randomized) Decrypt(ct []byte) ([]byte, error) {
+	cryptoStats.rndDecrypts.Add(1)
 	if len(ct) < aes.BlockSize {
 		return nil, ErrCiphertext
 	}
@@ -92,6 +94,7 @@ func NewDeterministic(master []byte) (*Deterministic, error) {
 
 // Encrypt encrypts pt with the synthetic nonce prepended.
 func (d *Deterministic) Encrypt(pt []byte) ([]byte, error) {
+	cryptoStats.detEncrypts.Add(1)
 	mac := hmac.New(sha256.New, d.macKey)
 	mac.Write(pt)
 	iv := mac.Sum(nil)[:aes.BlockSize]
@@ -104,6 +107,7 @@ func (d *Deterministic) Encrypt(pt []byte) ([]byte, error) {
 // Decrypt reverses Encrypt, verifying the synthetic nonce (which doubles as
 // an integrity check).
 func (d *Deterministic) Decrypt(ct []byte) ([]byte, error) {
+	cryptoStats.detDecrypts.Add(1)
 	if len(ct) < aes.BlockSize {
 		return nil, ErrCiphertext
 	}

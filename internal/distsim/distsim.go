@@ -10,6 +10,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/crypto"
 	"mpq/internal/exec"
+	"mpq/internal/obs"
 )
 
 // LinkDelay models the wide-area links between subjects: every transfer
@@ -82,6 +83,12 @@ type Network struct {
 	// exec.DefaultMorselRows). Morsel boundaries never depend on Workers,
 	// so results are deterministic for any setting.
 	MorselRows int
+	// Trace, when set, is handed to every subject executor (operator spans)
+	// and receives one obs.Edge per cross-subject transfer, unifying the
+	// ledger's byte accounting with the simulated network waits a query
+	// actually paid. Set it on the per-run Clone, never on a shared
+	// long-lived network.
+	Trace *obs.Trace
 	// Transfers is the ledger of inter-subject shipments, in completion
 	// order. ledgerMu guards appends from concurrent fragment workers;
 	// reading the ledger is safe once execution has completed.
@@ -147,6 +154,7 @@ func (nw *Network) Clone() *Network {
 		ValueCrypto:   nw.ValueCrypto,
 		Workers:       nw.Workers,
 		MorselRows:    nw.MorselRows,
+		Trace:         nw.Trace,
 	}
 	for s, e := range nw.subjects {
 		ce := e.Clone()
@@ -232,6 +240,7 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 		ex.ValueCrypto = nw.ValueCrypto
 		ex.Workers = nw.Workers
 		ex.MorselRows = nw.MorselRows
+		ex.Trace = nw.Trace
 		for name, fn := range nw.UDFs {
 			ex.UDFs[name] = fn
 		}
@@ -248,8 +257,16 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 					From: cs, To: subj, Rows: ct.Len(), Bytes: tableBytes(ct), Op: n.Op(),
 				}
 				nw.record(t)
-				if d := nw.Delay.delayFor(t.Bytes); d > 0 {
+				d := nw.Delay.delayFor(t.Bytes)
+				if d > 0 {
 					time.Sleep(d)
+				}
+				if nw.Trace != nil {
+					nw.Trace.AddEdge(obs.Edge{
+						From: string(cs), To: string(subj), Op: n.Op(),
+						Rows: int64(t.Rows), Bytes: t.Bytes, Batches: 1,
+						WaitNanos: d.Nanoseconds(),
+					})
 				}
 			}
 			ex.Materialized[c] = ct

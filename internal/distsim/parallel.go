@@ -9,6 +9,7 @@ import (
 	"mpq/internal/authz"
 	"mpq/internal/core"
 	"mpq/internal/exec"
+	"mpq/internal/obs"
 )
 
 // The parallel runtime replaces the sequential recursion of Execute with
@@ -120,6 +121,7 @@ func (nw *Network) executeParallelMaterializing(ext *core.ExtendedPlan, consts e
 		c.Consts = consts
 		c.Materializing = true
 		c.BatchSize = nw.BatchSize
+		c.Trace = nw.Trace
 		clones[i] = c
 	}
 
@@ -145,6 +147,13 @@ func (nw *Network) executeParallelMaterializing(ext *core.ExtendedPlan, consts e
 					Op: in.consumer,
 				}
 				nw.record(t)
+				if nw.Trace != nil {
+					nw.Trace.AddEdge(obs.Edge{
+						From: string(in.from.subject), To: string(f.subject), Op: in.consumer,
+						Rows: int64(t.Rows), Bytes: t.Bytes, Batches: 1,
+						WaitNanos: nw.Delay.delayFor(t.Bytes).Nanoseconds(),
+					})
+				}
 				runMu.Lock()
 				run = append(run, t)
 				runMu.Unlock()

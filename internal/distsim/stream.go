@@ -10,6 +10,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/exec"
 	"mpq/internal/exec/pipeline"
+	"mpq/internal/obs"
 )
 
 // The streaming runtime replaces the materializing fragment workers with a
@@ -80,6 +81,7 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 		c.ValueCrypto = nw.ValueCrypto
 		c.Workers = nw.Workers
 		c.MorselRows = nw.MorselRows
+		c.Trace = nw.Trace
 		c.Sources = make(map[algebra.Node]exec.Operator, len(f.inputs))
 		clones[i] = c
 	}
@@ -138,6 +140,7 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 
 			var rows, batches int
 			var bytes int64
+			var waited time.Duration
 			first := true
 			var sinkErr error
 			aborted := false
@@ -171,6 +174,7 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 					}
 					if dur > 0 {
 						time.Sleep(dur)
+						waited += dur
 					}
 				}
 				first = false
@@ -200,6 +204,13 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 					Op: edges[i].op,
 				}
 				nw.record(t)
+				if nw.Trace != nil {
+					nw.Trace.AddEdge(obs.Edge{
+						From: string(f.subject), To: string(edges[i].to), Op: edges[i].op,
+						Rows: int64(rows), Bytes: bytes, Batches: int64(batches),
+						WaitNanos: waited.Nanoseconds(),
+					})
+				}
 				runMu.Lock()
 				run = append(run, t)
 				runMu.Unlock()

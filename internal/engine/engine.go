@@ -15,6 +15,7 @@ import (
 	"mpq/internal/crypto"
 	"mpq/internal/distsim"
 	"mpq/internal/exec"
+	"mpq/internal/obs"
 	"mpq/internal/planner"
 	"mpq/internal/sql"
 )
@@ -99,13 +100,9 @@ type Engine struct {
 	policy *authz.Policy
 	cache  *planCache
 
-	queries       atomic.Uint64
-	hits          atomic.Uint64
-	misses        atomic.Uint64
-	errors        atomic.Uint64
-	invalidations atomic.Uint64
-	transfers     atomic.Uint64
-	bytesShipped  atomic.Uint64
+	// met owns the metrics registry; every engine counter lives there (see
+	// metrics.go) so Stats, /metrics, and engbench read one source of truth.
+	met *engineMetrics
 }
 
 // New validates the configuration and starts an engine.
@@ -131,14 +128,16 @@ func New(cfg Config) (*Engine, error) {
 	}
 	sys := core.NewSystem(cfg.Policy, cfg.Subjects...)
 	sys.Types = cfg.Catalog.TypesOf()
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		planner: planner.New(cfg.Catalog),
 		sys:     sys,
 		kinds:   exec.KindsFromCatalog(cfg.Catalog),
 		policy:  cfg.Policy,
 		cache:   newPlanCache(size),
-	}, nil
+	}
+	e.met = newEngineMetrics(e)
+	return e, nil
 }
 
 // preparedQuery is one cache entry: everything needed to execute a query
@@ -151,6 +150,39 @@ type preparedQuery struct {
 	keys      *crypto.KeyStore // full rings, for user-side finalization
 	consts    exec.ConstCache
 	executors []authz.Subject // distinct assignees, sorted
+
+	// observed holds the per-node output cardinalities measured by the most
+	// recent traced run of this plan (Explain or a trace-enabled query),
+	// stored alongside the cached plan as the feedback hook for
+	// cardinality-informed re-optimization: a later planning pass can compare
+	// each node's algebra.Stats estimate against what execution actually saw.
+	observed atomic.Pointer[map[algebra.Node]int64]
+}
+
+// recordObserved stores the actual output cardinality of every extended-plan
+// node that carries a span in tr.
+func (pq *preparedQuery) recordObserved(tr *obs.Trace) {
+	m := make(map[algebra.Node]int64)
+	var walk func(n algebra.Node)
+	walk = func(n algebra.Node) {
+		if sp := tr.ByRef(n); sp != nil {
+			m[n] = sp.Rows()
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(pq.result.Extended.Root)
+	pq.observed.Store(&m)
+}
+
+// observedRows returns the cardinalities of the last traced run, or nil if
+// the plan has never run traced.
+func (pq *preparedQuery) observedRows() map[algebra.Node]int64 {
+	if p := pq.observed.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Response is the outcome of one query.
@@ -202,29 +234,40 @@ const maxOptimisticPrepares = 2
 // Query plans, authorizes, and executes one SQL query, reusing a cached
 // authorized plan when one exists for the current authorization state.
 func (e *Engine) Query(query string) (*Response, error) {
-	e.queries.Add(1)
+	resp, _, err := e.query(query, nil)
+	return resp, err
+}
+
+// query is the shared body of Query and Explain: when tr is non-nil the run
+// executes traced (every compiled operator wrapped in a span, every
+// cross-subject edge recorded) and the observed cardinalities are stored on
+// the prepared plan.
+func (e *Engine) query(query string, tr *obs.Trace) (*Response, *preparedQuery, error) {
+	e.met.queries.Inc()
 	start := time.Now()
 	stmt, err := sql.Parse(query)
 	if err != nil {
-		e.errors.Add(1)
-		return nil, err
+		e.met.errors.Inc()
+		return nil, nil, err
 	}
+	e.met.observe(e.met.phaseParse, start)
 	fp := fingerprint(stmt)
 
 	pq, hit, err := e.admit(stmt, fp)
 	if err != nil {
-		e.errors.Add(1)
-		return nil, err
+		e.met.errors.Inc()
+		return nil, nil, err
 	}
 	if hit {
-		e.hits.Add(1)
+		e.met.hits.Inc()
 	} else {
-		e.misses.Add(1)
+		e.met.misses.Inc()
 	}
 	planTime := time.Since(start)
 
 	execStart := time.Now()
 	run := pq.network.Clone()
+	run.Trace = tr
 	var (
 		table     *exec.Table
 		transfers []distsim.Transfer
@@ -236,14 +279,20 @@ func (e *Engine) Query(query string) (*Response, error) {
 		table, transfers, err = run.ExecuteParallel(pq.result.Extended, pq.consts)
 	}
 	if err != nil {
-		e.errors.Add(1)
-		return nil, err
+		e.met.errors.Inc()
+		return nil, nil, err
 	}
+	e.met.observe(e.met.phaseExecute, execStart)
+	if tr != nil {
+		pq.recordObserved(tr)
+	}
+	finStart := time.Now()
 	final, headers, err := e.finalize(pq, table)
 	if err != nil {
-		e.errors.Add(1)
-		return nil, err
+		e.met.errors.Inc()
+		return nil, nil, err
 	}
+	e.met.observe(e.met.phaseFinalize, finStart)
 	resp := &Response{
 		Headers:      headers,
 		Table:        final,
@@ -256,9 +305,9 @@ func (e *Engine) Query(query string) (*Response, error) {
 		ExecTime:     time.Since(execStart),
 		Rows:         final.Len(),
 	}
-	e.transfers.Add(uint64(len(transfers)))
-	e.bytesShipped.Add(uint64(resp.BytesShipped()))
-	return resp, nil
+	e.met.transfers.Add(uint64(len(transfers)))
+	e.met.bytesShipped.Add(uint64(resp.BytesShipped()))
+	return resp, pq, nil
 }
 
 // admit returns an authorized plan consistent with the current
@@ -316,18 +365,24 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 	sys := core.NewSystem(pol, e.cfg.Subjects...)
 	sys.Caps = e.sys.Caps
 	sys.Types = e.sys.Types
+	planStart := time.Now()
 	plan, err := e.planner.Plan(stmt)
 	if err != nil {
 		return nil, err
 	}
+	e.met.observe(e.met.phasePlan, planStart)
+	authzStart := time.Now()
 	if err := sys.CheckUserAccess(e.cfg.User, plan.Root); err != nil {
 		return nil, err
 	}
+	e.met.observe(e.met.phaseAuthz, authzStart)
+	assignStart := time.Now()
 	an := sys.Analyze(plan.Root, nil)
 	res, err := assignment.Optimize(sys, an, e.cfg.Model, assignment.Options{})
 	if err != nil {
 		return nil, err
 	}
+	e.met.observe(e.met.phaseAssign, assignStart)
 
 	nw := distsim.NewNetwork()
 	nw.Delay = e.cfg.LinkDelay
@@ -346,6 +401,7 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 	for s, tables := range e.cfg.Tables {
 		nw.AddSubject(s, tables)
 	}
+	keysStart := time.Now()
 	full, err := nw.DistributeKeys(res.Extended, e.cfg.PaillierBits)
 	if err != nil {
 		return nil, err
@@ -354,6 +410,7 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 	if err != nil {
 		return nil, err
 	}
+	e.met.observe(e.met.phaseKeys, keysStart)
 
 	seen := make(map[authz.Subject]struct{})
 	for _, s := range res.Extended.Assign {
@@ -403,7 +460,7 @@ func (e *Engine) Grant(rel string, subject authz.Subject, plain, enc []string) (
 		return e.policy.Version(), err
 	}
 	e.cache.flush()
-	e.invalidations.Add(1)
+	e.met.invalidations.Inc()
 	return e.policy.Version(), nil
 }
 
@@ -416,7 +473,7 @@ func (e *Engine) Revoke(rel string, subject authz.Subject) (uint64, bool) {
 	revoked := e.policy.Revoke(rel, subject)
 	if revoked {
 		e.cache.flush()
-		e.invalidations.Add(1)
+		e.met.invalidations.Inc()
 	}
 	return e.policy.Version(), revoked
 }
@@ -444,16 +501,18 @@ type Stats struct {
 	AuthzVersion  uint64 `json:"authz_version"`
 }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. The fields (and their
+// JSON keys) are stable; since the registry became the source of truth this
+// is a read-through view over the same counters /metrics exposes.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Queries:       e.queries.Load(),
-		CacheHits:     e.hits.Load(),
-		CacheMisses:   e.misses.Load(),
-		Errors:        e.errors.Load(),
-		Invalidations: e.invalidations.Load(),
-		Transfers:     e.transfers.Load(),
-		BytesShipped:  e.bytesShipped.Load(),
+		Queries:       e.met.queries.Value(),
+		CacheHits:     e.met.hits.Value(),
+		CacheMisses:   e.met.misses.Value(),
+		Errors:        e.met.errors.Value(),
+		Invalidations: e.met.invalidations.Value(),
+		Transfers:     e.met.transfers.Value(),
+		BytesShipped:  e.met.bytesShipped.Value(),
 		CachedPlans:   e.cache.len(),
 		AuthzVersion:  e.AuthzVersion(),
 	}

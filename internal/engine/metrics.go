@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"time"
+
+	"mpq/internal/crypto"
+	"mpq/internal/obs"
+)
+
+// engineMetrics is the engine's registry-backed instrumentation: every
+// counter the engine maintained as a bare atomic now lives in an
+// obs.Registry, so the same numbers drive Stats (stable JSON), the /metrics
+// Prometheus exposition, and the engbench report without double bookkeeping.
+// Process-global crypto counters and the plan cache are bridged in as
+// CounterFunc/GaugeFunc collectors read at scrape time.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	queries       *obs.Counter
+	hits          *obs.Counter
+	misses        *obs.Counter
+	errors        *obs.Counter
+	invalidations *obs.Counter
+	transfers     *obs.Counter
+	bytesShipped  *obs.Counter
+
+	// Per-phase latency of the query lifecycle, in seconds: parse and the
+	// cold-preparation stages (plan, authz, assign, keys), then execute and
+	// finalize per run. Cache hits skip the preparation phases entirely, so
+	// their _count series double as cold-preparation counters.
+	phaseParse    *obs.Histogram
+	phasePlan     *obs.Histogram
+	phaseAuthz    *obs.Histogram
+	phaseAssign   *obs.Histogram
+	phaseKeys     *obs.Histogram
+	phaseExecute  *obs.Histogram
+	phaseFinalize *obs.Histogram
+}
+
+func newEngineMetrics(e *Engine) *engineMetrics {
+	r := obs.NewRegistry()
+	m := &engineMetrics{reg: r}
+
+	m.queries = r.Counter("mpq_engine_queries_total",
+		"Queries submitted (Query, QueryStream, and Explain runs).")
+	m.errors = r.Counter("mpq_engine_errors_total",
+		"Queries that failed at any lifecycle phase.")
+	m.hits = r.Counter("mpq_engine_plan_cache_requests_total",
+		"Authorized-plan cache lookups by outcome.", obs.L("result", "hit"))
+	m.misses = r.Counter("mpq_engine_plan_cache_requests_total",
+		"Authorized-plan cache lookups by outcome.", obs.L("result", "miss"))
+	m.invalidations = r.Counter("mpq_engine_plan_cache_flushes_total",
+		"Wholesale plan-cache flushes caused by policy mutations.")
+	m.transfers = r.Counter("mpq_engine_transfers_total",
+		"Inter-subject shipments recorded across all runs.")
+	m.bytesShipped = r.Counter("mpq_engine_bytes_shipped_total",
+		"Bytes moved between subjects across all runs.")
+
+	r.GaugeFunc("mpq_engine_cached_plans",
+		"Authorized plans currently cached.", func() float64 {
+			return float64(e.cache.len())
+		})
+	r.GaugeFunc("mpq_engine_authz_version",
+		"Current authorization-state version.", func() float64 {
+			return float64(e.AuthzVersion())
+		})
+
+	const phaseHelp = "Query lifecycle phase latency in seconds."
+	phase := func(name string) *obs.Histogram {
+		return r.Histogram("mpq_engine_phase_seconds", phaseHelp,
+			obs.DurationBuckets, obs.L("phase", name))
+	}
+	m.phaseParse = phase("parse")
+	m.phasePlan = phase("plan")
+	m.phaseAuthz = phase("authz")
+	m.phaseAssign = phase("assign")
+	m.phaseKeys = phase("keys")
+	m.phaseExecute = phase("execute")
+	m.phaseFinalize = phase("finalize")
+
+	// Crypto operation counters are process-global atomics (every engine in
+	// the process shares one crypto bill); bridge them in at scrape time.
+	const cryptoHelp = "Values encrypted or decrypted, by scheme and direction."
+	cryptoOp := func(scheme, dir string, read func(crypto.Stats) uint64) {
+		r.CounterFunc("mpq_crypto_values_total", cryptoHelp, func() float64 {
+			return float64(read(crypto.ReadStats()))
+		}, obs.L("scheme", scheme), obs.L("dir", dir))
+	}
+	cryptoOp("det", "encrypt", func(s crypto.Stats) uint64 { return s.DetEncrypts })
+	cryptoOp("det", "decrypt", func(s crypto.Stats) uint64 { return s.DetDecrypts })
+	cryptoOp("rnd", "encrypt", func(s crypto.Stats) uint64 { return s.RndEncrypts })
+	cryptoOp("rnd", "decrypt", func(s crypto.Stats) uint64 { return s.RndDecrypts })
+	cryptoOp("ope", "encrypt", func(s crypto.Stats) uint64 { return s.OPEEncrypts })
+	cryptoOp("ope", "decrypt", func(s crypto.Stats) uint64 { return s.OPEDecrypts })
+	cryptoOp("phe", "encrypt", func(s crypto.Stats) uint64 { return s.PheEncrypts })
+	cryptoOp("phe", "decrypt", func(s crypto.Stats) uint64 { return s.PheDecrypts })
+
+	const batchHelp = "Batch/arena crypto calls across schemes, by direction."
+	r.CounterFunc("mpq_crypto_batches_total", batchHelp, func() float64 {
+		return float64(crypto.ReadStats().EncryptBatches)
+	}, obs.L("dir", "encrypt"))
+	r.CounterFunc("mpq_crypto_batches_total", batchHelp, func() float64 {
+		return float64(crypto.ReadStats().DecryptBatches)
+	}, obs.L("dir", "decrypt"))
+
+	const poolHelp = "Paillier encryption randomizers by provenance: served from the precomputed pool, or computed on demand."
+	r.CounterFunc("mpq_paillier_randomizer_pool_total", poolHelp, func() float64 {
+		return float64(crypto.ReadStats().PaillierPoolHits)
+	}, obs.L("result", "hit"))
+	r.CounterFunc("mpq_paillier_randomizer_pool_total", poolHelp, func() float64 {
+		return float64(crypto.ReadStats().PaillierPoolMisses)
+	}, obs.L("result", "miss"))
+
+	return m
+}
+
+// observe records one phase duration.
+func (m *engineMetrics) observe(h *obs.Histogram, start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Metrics exposes the engine's metric registry so servers can mount a
+// Prometheus endpoint or snapshot it into reports. The registry is created
+// with the engine and lives as long as it does.
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }

@@ -5,6 +5,7 @@ import (
 
 	"mpq/internal/exec"
 	"mpq/internal/exec/pipeline"
+	"mpq/internal/obs"
 	"mpq/internal/sql"
 )
 
@@ -22,17 +23,24 @@ import (
 // Sequential and Materializing runtimes, which have no streaming interior.
 // A yield error aborts the run and is returned.
 func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][]exec.Value) error) (*Response, error) {
-	e.queries.Add(1)
+	return e.queryStream(query, nil, yield)
+}
+
+// queryStream is the shared body of QueryStream and the traced streaming
+// path (mpqd's ?trace=1): when tr is non-nil the run executes traced and the
+// observed cardinalities are stored on the prepared plan.
+func (e *Engine) queryStream(query string, tr *obs.Trace, yield func(headers []string, rows [][]exec.Value) error) (*Response, error) {
+	e.met.queries.Inc()
 	start := time.Now()
 	pq, hit, err := e.admitSQL(query)
 	if err != nil {
-		e.errors.Add(1)
+		e.met.errors.Inc()
 		return nil, err
 	}
 	if hit {
-		e.hits.Add(1)
+		e.met.hits.Inc()
 	} else {
-		e.misses.Add(1)
+		e.met.misses.Inc()
 	}
 	planTime := time.Since(start)
 
@@ -64,6 +72,7 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 	}
 
 	run := pq.network.Clone()
+	run.Trace = tr
 	if e.cfg.Sequential || e.cfg.Materializing {
 		// No streaming interior: execute, finalize, replay in batches.
 		var table *exec.Table
@@ -73,17 +82,20 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 		} else {
 			table, resp.Transfers, err = run.ExecuteParallel(pq.result.Extended, pq.consts)
 		}
+		if err == nil && tr != nil {
+			pq.recordObserved(tr)
+		}
 		if err == nil {
 			table, _, err = e.finalize(pq, table)
 		}
 		if err != nil {
-			e.errors.Add(1)
+			e.met.errors.Inc()
 			return nil, err
 		}
 		for pos := 0; pos < len(table.Rows); pos += batch {
 			end := min(pos+batch, len(table.Rows))
 			if err := emit(table.Rows[pos:end]); err != nil {
-				e.errors.Add(1)
+				e.met.errors.Inc()
 				return nil, err
 			}
 		}
@@ -152,17 +164,20 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 
 	schema, transfers, err := run.ExecuteStream(pq.result.Extended, pq.consts, sink)
 	if err != nil {
-		e.errors.Add(1)
+		e.met.errors.Inc()
 		return nil, err
 	}
 	resp.Transfers = transfers
+	if tr != nil {
+		pq.recordObserved(tr)
+	}
 
 	if !streaming {
 		var sorted [][]exec.Value
 		if topk != nil {
 			sorted, err = topk.Rows()
 			if err != nil {
-				e.errors.Add(1)
+				e.met.errors.Inc()
 				return nil, err
 			}
 		} else {
@@ -173,7 +188,7 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 				specs[i] = exec.SortSpec{Index: o.Index, Desc: o.Desc}
 			}
 			if err := t.SortBy(specs); err != nil {
-				e.errors.Add(1)
+				e.met.errors.Inc()
 				return nil, err
 			}
 			sorted = t.Rows // limit < 0 here: bounded queries took the TopK path
@@ -189,7 +204,7 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 		for pos := 0; pos < len(out); pos += batch {
 			end := min(pos+batch, len(out))
 			if err := emit(out[pos:end]); err != nil {
-				e.errors.Add(1)
+				e.met.errors.Inc()
 				return nil, err
 			}
 		}
@@ -197,13 +212,15 @@ func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][
 	return e.sealStream(resp, execStart), nil
 }
 
-// admitSQL parses a query and admits its authorized plan (shared by Query
-// and QueryStream).
+// admitSQL parses a query and admits its authorized plan (shared by
+// QueryStream and Explain).
 func (e *Engine) admitSQL(query string) (*preparedQuery, bool, error) {
+	start := time.Now()
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, false, err
 	}
+	e.met.observe(e.met.phaseParse, start)
 	return e.admit(stmt, fingerprint(stmt))
 }
 
@@ -211,7 +228,8 @@ func (e *Engine) admitSQL(query string) (*preparedQuery, bool, error) {
 // response.
 func (e *Engine) sealStream(resp *Response, execStart time.Time) *Response {
 	resp.ExecTime = time.Since(execStart)
-	e.transfers.Add(uint64(len(resp.Transfers)))
-	e.bytesShipped.Add(uint64(resp.BytesShipped()))
+	e.met.observe(e.met.phaseExecute, execStart)
+	e.met.transfers.Add(uint64(len(resp.Transfers)))
+	e.met.bytesShipped.Add(uint64(resp.BytesShipped()))
 	return resp
 }

@@ -15,7 +15,40 @@ import (
 // closures. Nodes present in Sources splice in an already-built operator
 // (the streaming runtime's cross-subject exchanges); nodes present in
 // Materialized scan the pre-computed relation.
+//
+// With a Trace attached, every compiled operator is wrapped in a span
+// recording rows, batches, and wall time per Next. Spliced subtrees
+// (Sources exchanges, Materialized sub-results) are never wrapped: the
+// producing fragment already accounts those rows, and wrapping the splice
+// would double-count them under the same span.
 func (e *Executor) Build(n algebra.Node) (Operator, error) {
+	if e.Trace == nil {
+		return e.buildNode(n)
+	}
+	if op, ok := e.Sources[n]; ok {
+		return op, nil
+	}
+	if _, ok := e.Materialized[n]; ok {
+		return e.buildNode(n)
+	}
+	op, err := e.buildNode(n)
+	if err != nil {
+		return nil, err
+	}
+	sp := e.Trace.Span(n, n.Op(), "")
+	// Morsel-parallel operators additionally report which worker claimed
+	// each morsel, exposing scheduler skew in Explain output.
+	switch x := op.(type) {
+	case *parallelOp:
+		x.sp = sp
+	case *groupByOp:
+		x.sp = sp
+	}
+	return &traceOp{inner: op, sp: sp}, nil
+}
+
+// buildNode is the untraced compilation dispatch behind Build.
+func (e *Executor) buildNode(n algebra.Node) (Operator, error) {
 	if op, ok := e.Sources[n]; ok {
 		return op, nil
 	}

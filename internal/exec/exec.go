@@ -3,9 +3,11 @@ package exec
 import (
 	"fmt"
 	"math/big"
+	"time"
 
 	"mpq/internal/algebra"
 	"mpq/internal/crypto"
+	"mpq/internal/obs"
 	"mpq/internal/sql"
 )
 
@@ -65,6 +67,12 @@ type Executor struct {
 	// DefaultMorselRows). Morsel boundaries depend only on this value and
 	// the table, never on Workers, so parallel results are deterministic.
 	MorselRows int
+	// Trace, when non-nil, makes Build wrap every compiled operator in a
+	// per-Next accounting shim recording rows, batches, and wall time into
+	// one span per plan node. The wrapping decision happens at build time,
+	// so a nil Trace leaves the compiled pipeline — and its per-batch cost
+	// — completely untouched (enforced by BenchmarkTraceOverhead).
+	Trace *obs.Trace
 }
 
 // ConstCache maps value-comparison conditions to their encrypted literals.
@@ -104,6 +112,7 @@ func (e *Executor) Clone() *Executor {
 		ValueCrypto:   e.ValueCrypto,
 		Workers:       e.Workers,
 		MorselRows:    e.MorselRows,
+		Trace:         e.Trace,
 	}
 }
 
@@ -127,11 +136,29 @@ func (e *Executor) Run(n algebra.Node) (*Table, error) {
 
 // runMaterializing evaluates the plan by the legacy whole-table recursion:
 // every operator materializes its full result before the parent consumes
-// it, and predicate references are resolved per row.
+// it, and predicate references are resolved per row. With a Trace attached
+// each node still gets a span — rows and inclusive wall time accounted per
+// materialized result (one batch), so Explain works under the oracle
+// runtime too.
 func (e *Executor) runMaterializing(n algebra.Node) (*Table, error) {
 	if t, ok := e.Materialized[n]; ok {
 		return t, nil
 	}
+	if e.Trace == nil {
+		return e.evalMaterializing(n)
+	}
+	start := time.Now()
+	t, err := e.evalMaterializing(n)
+	if err != nil {
+		return nil, err
+	}
+	sp := e.Trace.Span(n, n.Op(), "")
+	sp.AddRows(int64(t.Len()), 1)
+	sp.AddNanos(time.Since(start).Nanoseconds())
+	return t, nil
+}
+
+func (e *Executor) evalMaterializing(n algebra.Node) (*Table, error) {
 	switch x := n.(type) {
 	case *algebra.Base:
 		return e.runBase(x)

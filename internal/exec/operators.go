@@ -7,6 +7,7 @@ import (
 
 	"mpq/internal/algebra"
 	"mpq/internal/crypto"
+	"mpq/internal/obs"
 	"mpq/internal/sql"
 )
 
@@ -840,7 +841,8 @@ type groupByOp struct {
 	specs  []algebra.AggSpec
 	batch  int
 	ring   ringFn
-	par    *chain // morsel-parallel input chain (nil = sequential child)
+	par    *chain    // morsel-parallel input chain (nil = sequential child)
+	sp     *obs.Span // traced runs: per-worker morsel claim accounting
 
 	built bool
 	out   [][]Value

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"mpq/internal/algebra"
+	"mpq/internal/obs"
 	"mpq/internal/sql"
 )
 
@@ -431,18 +432,19 @@ func runChainMorsel(op Operator, src *morselScan, r *chainRun, idx int) morselOu
 }
 
 // runMorsels is the one morsel scheduler both parallel paths share: workers
-// goroutines each instantiate their private state via newWorker and then
-// claim morsel indexes in ascending order off an atomic counter, ticket-
-// bounded so at most `bound` morsels are claimed but not yet consumed (a
-// slow head morsel never lets fast workers race arbitrarily far ahead);
-// consume receives every finished morsel on the caller's goroutine in
-// strict ascending morsel order. A consume error (or a morsel's own error,
-// surfaced through consume) stops further consumption but the drain
-// continues, so no worker is ever left blocked; the first error in morsel
-// order is returned. A receive from abort (nil = never) stops the run
-// early. Workers always exit before runMorsels returns.
+// goroutines each instantiate their private state via newWorker (which
+// receives the worker's slot index, letting traced runs attribute morsel
+// claims per worker) and then claim morsel indexes in ascending order off
+// an atomic counter, ticket-bounded so at most `bound` morsels are claimed
+// but not yet consumed (a slow head morsel never lets fast workers race
+// arbitrarily far ahead); consume receives every finished morsel on the
+// caller's goroutine in strict ascending morsel order. A consume error (or
+// a morsel's own error, surfaced through consume) stops further consumption
+// but the drain continues, so no worker is ever left blocked; the first
+// error in morsel order is returned. A receive from abort (nil = never)
+// stops the run early. Workers always exit before runMorsels returns.
 func runMorsels(workers, nMorsels, bound int, abort <-chan struct{},
-	newWorker func() func(idx int) morselOut, consume func(morselOut) error) error {
+	newWorker func(w int) func(idx int) morselOut, consume func(morselOut) error) error {
 	if workers > nMorsels {
 		workers = nMorsels
 	}
@@ -455,9 +457,9 @@ func runMorsels(workers, nMorsels, bound int, abort <-chan struct{},
 	var claim atomic.Int64
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			work := newWorker()
+			work := newWorker(w)
 			for {
 				select {
 				case tickets <- struct{}{}:
@@ -475,7 +477,7 @@ func runMorsels(workers, nMorsels, bound int, abort <-chan struct{},
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	pending := make(map[int]morselOut)
 	var firstErr error
@@ -519,6 +521,7 @@ type parallelOp struct {
 	c       *chain
 	batch   int
 	workers int
+	sp      *obs.Span // traced runs: per-worker morsel claim accounting
 
 	merged  chan morselOut
 	done    chan struct{}
@@ -544,15 +547,23 @@ func (p *parallelOp) Open() error {
 	p.closing = new(sync.Once)
 	p.cur, p.curPos, p.failed = nil, 0, nil
 	p.opened = true
+	if p.sp != nil {
+		p.sp.InitWorkers(p.workers)
+	}
 	done, merged := p.done, p.merged
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
 		defer close(merged)
 		runMorsels(p.workers, run.nMorsels, 2*p.workers, done,
-			func() func(idx int) morselOut {
+			func(w int) func(idx int) morselOut {
 				op, src := run.newWorkerChain(p.batch)
-				return func(idx int) morselOut { return runChainMorsel(op, src, run, idx) }
+				return func(idx int) morselOut {
+					if p.sp != nil {
+						p.sp.Claim(w)
+					}
+					return runChainMorsel(op, src, run, idx)
+				}
 			},
 			func(out morselOut) error {
 				select {
@@ -642,13 +653,19 @@ func (g *groupByOp) buildParallel(gt *groupTable) error {
 		return err
 	}
 	batch := e.batchSize()
+	if g.sp != nil {
+		g.sp.InitWorkers(e.parWorkers())
+	}
 	return runMorsels(e.parWorkers(), run.nMorsels, 2*e.parWorkers(), nil,
-		func() func(idx int) morselOut {
+		func(w int) func(idx int) morselOut {
 			op, src := run.newWorkerChain(batch)
 			// Per-worker ring cache: partial adds resolve Paillier rings
 			// without sharing a mutable map across goroutines.
 			ring := e.ringCache()
 			return func(idx int) morselOut {
+				if g.sp != nil {
+					g.sp.Claim(w)
+				}
 				out := morselOut{idx: idx, part: newGroupTable(g.keyIdx, g.aggIdx, g.specs, true, ring)}
 				out.err = drainMorsel(op, src, run, idx, out.part.addBatch)
 				return out

@@ -1,0 +1,44 @@
+package exec
+
+import (
+	"time"
+
+	"mpq/internal/algebra"
+	"mpq/internal/obs"
+)
+
+// traceOp wraps a compiled operator with per-Next span accounting. It exists
+// only in traced pipelines — Build inserts it when the executor carries a
+// Trace — so the untraced hot path never pays for the time calls or the
+// extra indirection.
+//
+// Span time is inclusive: a parent's Next encloses its children's Next
+// calls, which are themselves wrapped, so self time is recoverable as
+// span minus the sum of child spans (Engine.Explain does this).
+type traceOp struct {
+	inner Operator
+	sp    *obs.Span
+}
+
+func (t *traceOp) Schema() []algebra.Attr { return t.inner.Schema() }
+
+func (t *traceOp) Open() error {
+	start := time.Now()
+	err := t.inner.Open()
+	t.sp.AddNanos(time.Since(start).Nanoseconds())
+	return err
+}
+
+func (t *traceOp) Next() (*Batch, error) {
+	start := time.Now()
+	b, err := t.inner.Next()
+	el := time.Since(start).Nanoseconds()
+	if b != nil {
+		t.sp.Record(b.N, el)
+	} else {
+		t.sp.Record(-1, el)
+	}
+	return b, err
+}
+
+func (t *traceOp) Close() error { return t.inner.Close() }

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Trace records the execution of one query: a span per compiled operator
+// and an edge per inter-subject transfer. A nil *Trace means tracing is
+// off — callers must branch on nil at wiring time so the disabled path
+// costs nothing per batch.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+	byRef map[any]*Span
+	edges []Edge
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{byRef: make(map[any]*Span)}
+}
+
+// Span accounts one operator: batches and rows it produced, wall time spent
+// inside its Next calls, and (for parallel operators) how many morsels each
+// worker claimed. Counters are atomics because morsel workers and the merge
+// goroutine touch the same span concurrently.
+type Span struct {
+	Op     string // operator rendering, e.g. σ[p_size = 15]
+	Detail string // extra context, e.g. the executing subject
+
+	ref     any
+	rows    atomic.Int64
+	batches atomic.Int64
+	nanos   atomic.Int64
+	claims  []atomic.Int64 // per-worker morsel claims; nil for serial ops
+}
+
+// Edge accounts one provider→provider (or provider→user) data transfer.
+type Edge struct {
+	From    string
+	To      string
+	Op      string // rendering of the producing fragment root
+	Rows    int64
+	Bytes   int64
+	Batches int64
+	// WaitNanos is the simulated network time charged to this edge:
+	// round-trip latency on the first batch plus per-batch serialization
+	// delay.
+	WaitNanos int64
+}
+
+// Span returns the span registered under ref, creating it on first use.
+// ref is typically the *algebra node the operator was compiled from.
+func (t *Trace) Span(ref any, op, detail string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.byRef[ref]; ok {
+		return s
+	}
+	s := &Span{Op: op, Detail: detail, ref: ref}
+	t.byRef[ref] = s
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// ByRef returns the span registered under ref, or nil.
+func (t *Trace) ByRef(ref any) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byRef[ref]
+}
+
+// AddEdge appends a completed transfer record.
+func (t *Trace) AddEdge(e Edge) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.edges = append(t.edges, e)
+}
+
+// Edges returns a copy of the recorded transfers.
+func (t *Trace) Edges() []Edge {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Edge(nil), t.edges...)
+}
+
+// Spans returns the recorded spans in registration order.
+func (t *Trace) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Record accounts one Next call that produced rows in nanos wall time.
+// Calls that produced no batch (end of stream) pass rows < 0.
+func (s *Span) Record(rows int, nanos int64) {
+	if rows >= 0 {
+		s.rows.Add(int64(rows))
+		s.batches.Add(1)
+	}
+	s.nanos.Add(nanos)
+}
+
+// AddRows accounts rows produced outside a timed Next call (materialized
+// execution paths).
+func (s *Span) AddRows(rows, batches int64) {
+	s.rows.Add(rows)
+	s.batches.Add(batches)
+}
+
+// AddNanos accounts wall time outside a timed Next call.
+func (s *Span) AddNanos(n int64) { s.nanos.Add(n) }
+
+// Rows returns the total rows the operator produced.
+func (s *Span) Rows() int64 { return s.rows.Load() }
+
+// Batches returns the number of batches the operator produced.
+func (s *Span) Batches() int64 { return s.batches.Load() }
+
+// Nanos returns the wall time spent inside the operator's Next calls.
+// For parallel operators this is the merge-side wait, not summed worker
+// time.
+func (s *Span) Nanos() int64 { return s.nanos.Load() }
+
+// InitWorkers sizes the per-worker morsel claim counters. Safe to call
+// once per execution before workers start.
+func (s *Span) InitWorkers(n int) {
+	s.claims = make([]atomic.Int64, n)
+}
+
+// Claim accounts one morsel claimed by worker w.
+func (s *Span) Claim(w int) {
+	if w >= 0 && w < len(s.claims) {
+		s.claims[w].Add(1)
+	}
+}
+
+// MorselClaims returns per-worker morsel claim counts, or nil for serial
+// operators.
+func (s *Span) MorselClaims() []int64 {
+	if s.claims == nil {
+		return nil
+	}
+	out := make([]int64, len(s.claims))
+	for i := range s.claims {
+		out[i] = s.claims[i].Load()
+	}
+	return out
+}

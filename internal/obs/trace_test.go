@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace()
+	type node struct{ name string }
+	n1, n2 := &node{"a"}, &node{"b"}
+	s1 := tr.Span(n1, "σ[x>1]", "alice")
+	if got := tr.Span(n1, "other", "other"); got != s1 {
+		t.Fatal("Span must be idempotent per ref")
+	}
+	s2 := tr.Span(n2, "π[x]", "bob")
+	s1.Record(100, 5000)
+	s1.Record(28, 2000)
+	s1.Record(-1, 300) // end-of-stream Next: time but no batch
+	if s1.Rows() != 128 || s1.Batches() != 2 || s1.Nanos() != 7300 {
+		t.Fatalf("span totals = %d/%d/%d", s1.Rows(), s1.Batches(), s1.Nanos())
+	}
+	if tr.ByRef(n2) != s2 || tr.ByRef("missing") != nil {
+		t.Fatal("ByRef lookup broken")
+	}
+	if got := len(tr.Spans()); got != 2 {
+		t.Fatalf("spans = %d, want 2", got)
+	}
+}
+
+func TestTraceMorselClaims(t *testing.T) {
+	tr := NewTrace()
+	s := tr.Span("par", "µ", "")
+	s.InitWorkers(3)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i <= w; i++ {
+				s.Claim(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	claims := s.MorselClaims()
+	if len(claims) != 3 || claims[0] != 1 || claims[1] != 2 || claims[2] != 3 {
+		t.Fatalf("claims = %v", claims)
+	}
+	s.Claim(99) // out of range must not panic
+	serial := tr.Span("ser", "σ", "")
+	if serial.MorselClaims() != nil {
+		t.Fatal("serial span must report nil claims")
+	}
+}
+
+func TestTraceEdges(t *testing.T) {
+	tr := NewTrace()
+	tr.AddEdge(Edge{From: "H", To: "user", Op: "π", Rows: 10, Bytes: 420, Batches: 1, WaitNanos: 7})
+	edges := tr.Edges()
+	if len(edges) != 1 || edges[0].Bytes != 420 {
+		t.Fatalf("edges = %+v", edges)
+	}
+}
