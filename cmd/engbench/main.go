@@ -87,6 +87,11 @@ type report struct {
 	// pipeline vs the row-at-a-time materializing oracle on plaintext
 	// tables, with no distribution, crypto, planning, or link simulation.
 	Interior []interiorCell `json:"interior,omitempty"`
+	// StringDistinct maps "table.column" to the distinct-value ratio of
+	// every string column in the generated data — the statistic the
+	// dictionary promotion policy gates on (columns at or below the policy's
+	// MaxRatio execute on codes).
+	StringDistinct map[string]float64 `json:"string_distinct_ratio,omitempty"`
 }
 
 type interiorCell struct {
@@ -109,6 +114,7 @@ func main() {
 		batch    = flag.Int("batch", 0, fmt.Sprintf("pipeline batch size in rows (0 = default %d)", exec.DefaultBatchSize))
 		workersF = flag.String("workers", "1", "comma-separated morsel worker pool sizes to sweep (1 = single-threaded)")
 		stream   = flag.Bool("stream", false, "also measure Engine.QueryStream (time-to-first-row)")
+		dictF    = flag.Bool("dict", false, "also measure the cached batch pipeline with dictionary encoding forced off (batch-cached-nodict) next to the default policy (batch-cached-dict)")
 		explainF = flag.Bool("explain", false, "print the EXPLAIN ANALYZE tree of each benchmark query (batch pipeline, cached plans) before measuring")
 		interior = flag.Bool("interior", false, "also record the centralized interior microbenchmark (columnar vs row oracle)")
 		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
@@ -174,6 +180,14 @@ func main() {
 		delay = &distsim.LinkDelay{RTT: *rtt, BytesPerSec: *mbps * 1e6}
 	}
 
+	// Record each string column's distinct ratio: which columns the
+	// dictionary policy promotes is a property of the data, and readers of
+	// the -dict cells need it to interpret the delta.
+	rep.StringDistinct = stringDistinctRatios(*sf, *seed)
+	if *dictF && len(rep.StringDistinct) == 0 {
+		log.Printf("engbench: warning: -dict sweep on a dataset with no string columns: dictionary encoding has nothing to promote, the dict/nodict cells will match")
+	}
+
 	type config struct {
 		name          string
 		materializing bool
@@ -181,26 +195,43 @@ func main() {
 		cached        bool
 		stream        bool
 		workers       int
+		dictOff       bool // force dictionary promotion off for this cell
 	}
 	configs := []config{
-		{"materializing-cold", true, false, false, false, 0},
-		{"batch-valuecrypto-cold", false, true, false, false, 0},
-		{"batch-cold", false, false, false, false, 0},
-		{"materializing-cached", true, false, true, false, 0},
-		{"batch-valuecrypto-cached", false, true, true, false, 0},
-		{"batch-cached", false, false, true, false, 0},
-		{"batch-stream-cached", false, false, true, true, 0},
+		{name: "materializing-cold", materializing: true},
+		{name: "batch-valuecrypto-cold", valueCrypto: true},
+		{name: "batch-cold"},
+		{name: "materializing-cached", materializing: true, cached: true},
+		{name: "batch-valuecrypto-cached", valueCrypto: true, cached: true},
+		{name: "batch-cached", cached: true},
+		{name: "batch-stream-cached", cached: true, stream: true},
 	}
 	// The -workers sweep: the cached batch pipeline re-measured per morsel
 	// worker pool size (workers=1 is the plain batch-cached cell above).
 	for _, w := range workerCounts {
 		if w > 1 {
-			configs = append(configs, config{fmt.Sprintf("batch-cached-w%d", w), false, false, true, false, w})
+			configs = append(configs, config{name: fmt.Sprintf("batch-cached-w%d", w), cached: true, workers: w})
 		}
+	}
+	// The -dict sweep: the cached batch pipeline under the default
+	// dictionary policy vs with promotion forced off, isolating what
+	// executing on codes (and encrypting each distinct value once) buys.
+	if *dictF {
+		configs = append(configs,
+			config{name: "batch-cached-dict", cached: true},
+			config{name: "batch-cached-nodict", cached: true, dictOff: true})
 	}
 	for _, c := range configs {
 		if c.stream && !*stream {
 			continue
+		}
+		var restoreDict *exec.DictPolicy
+		if c.dictOff {
+			// Off for this cell only: engine construction below regenerates
+			// the tables, so their columnar caches build under the policy
+			// active here. Restored after this config's cells.
+			old := exec.SetDictPolicy(exec.DictPolicy{MinRows: 1, MaxRatio: 0})
+			restoreDict = &old
 		}
 		cfg := engine.TPCHConfig(tpch.Scenario(*scenario), *sf, *seed)
 		cfg.Materializing = c.materializing
@@ -249,6 +280,9 @@ func main() {
 		if snap := eng.Metrics().Snapshot(); rep.Metrics == nil || c.name == "batch-cached" {
 			rep.Metrics = snap
 		}
+		if restoreDict != nil {
+			exec.SetDictPolicy(*restoreDict)
+		}
 	}
 
 	if *interior {
@@ -268,6 +302,39 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("engbench: wrote %s\n", *out)
+}
+
+// stringDistinctRatios generates the benchmark dataset once and measures,
+// for every string column, distinct values / rows — the statistic the
+// dictionary promotion policy compares against its MaxRatio gate.
+func stringDistinctRatios(sf float64, seed int64) map[string]float64 {
+	out := make(map[string]float64)
+	for name, tbl := range tpch.Generate(sf, seed) {
+		if len(tbl.Rows) == 0 {
+			continue
+		}
+		for ci, attr := range tbl.Schema {
+			distinct := make(map[string]bool)
+			strs, others := 0, 0
+			for _, row := range tbl.Rows {
+				switch v := row[ci]; v.Kind {
+				case exec.KString:
+					strs++
+					distinct[v.S] = true
+				case exec.KNull:
+				default:
+					others++
+				}
+				if others > 0 {
+					break
+				}
+			}
+			if strs > 0 && others == 0 {
+				out[name+"."+attr.Name] = float64(len(distinct)) / float64(len(tbl.Rows))
+			}
+		}
+	}
+	return out
 }
 
 // measureInterior times centralized plan execution per query for the

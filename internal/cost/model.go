@@ -136,7 +136,7 @@ var decSecondsPerValue = map[algebra.Scheme]float64{
 	algebra.SchemeRandom:        5.0e-7,
 	algebra.SchemeDeterministic: 5.0e-7,
 	algebra.SchemeOPE:           5.0e-7,
-	algebra.SchemePaillier:      5.0e-6, // CRT-accelerated
+	algebra.SchemePaillier:      5.0e-6, // CRT decryption (crypto.Paillier.decryptCRT)
 }
 
 // EncSeconds returns the CPU seconds to encrypt one value under the scheme.

@@ -6,6 +6,7 @@ import (
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 	"hash"
 	"io"
@@ -22,11 +23,17 @@ import (
 // decrypt-identical for the randomized one (fresh nonces are still drawn
 // per value).
 
+// ctrStripeBlocks is the number of keystream blocks generated per stripe on
+// the multi-block path: 128 bytes covers most wide string cells in one
+// stripe while keeping the scratch state small enough to live on the stack.
+const ctrStripeBlocks = 8
+
 // ctrState is the scratch space of the manual CTR keystream. It lives once
 // per batch call: the buffers escape through the cipher.Block interface, so
-// declaring them per value would cost two heap allocations each.
+// declaring them per value would cost heap allocations each.
 type ctrState struct {
 	ctr, ks [aes.BlockSize]byte
+	stripe  [ctrStripeBlocks * aes.BlockSize]byte
 }
 
 // xor encrypts/decrypts src into dst with AES-CTR starting at iv (16
@@ -43,24 +50,30 @@ func (s *ctrState) xor(block cipher.Block, iv []byte, dst, src []byte) {
 		}
 		return
 	}
+	// Multi-block path (wide string cells): generate the keystream a stripe
+	// of blocks at a time, then XOR each stripe with one word-wide
+	// subtle.XORBytes call instead of a per-byte loop.
 	copy(s.ctr[:], iv)
 	for len(src) > 0 {
-		block.Encrypt(s.ks[:], s.ctr[:])
-		n := len(src)
-		if n > aes.BlockSize {
-			n = aes.BlockSize
+		ks := s.stripe[:]
+		if len(src) < len(ks) {
+			blocks := (len(src) + aes.BlockSize - 1) / aes.BlockSize
+			ks = ks[:blocks*aes.BlockSize]
 		}
-		for i := 0; i < n; i++ {
-			dst[i] = src[i] ^ s.ks[i]
-		}
-		dst, src = dst[n:], src[n:]
-		// Big-endian counter increment, as cipher.NewCTR does.
-		for i := aes.BlockSize - 1; i >= 0; i-- {
-			s.ctr[i]++
-			if s.ctr[i] != 0 {
-				break
+		for off := 0; off < len(ks); off += aes.BlockSize {
+			block.Encrypt(ks[off:off+aes.BlockSize], s.ctr[:])
+			// Big-endian counter increment, as cipher.NewCTR does.
+			for i := aes.BlockSize - 1; i >= 0; i-- {
+				s.ctr[i]++
+				if s.ctr[i] != 0 {
+					break
+				}
 			}
 		}
+		// XORBytes stops at the shortest operand, so the final stripe's
+		// keystream tail past len(src) is simply unused.
+		n := subtle.XORBytes(dst, src, ks)
+		dst, src = dst[n:], src[n:]
 	}
 }
 

@@ -29,7 +29,9 @@ func TestCtrXORMatchesStdlib(t *testing.T) {
 		t.Fatal(err)
 	}
 	iv := bytes.Repeat([]byte{0xfe}, aes.BlockSize) // forces carry propagation
-	for _, n := range []int{0, 1, 15, 16, 17, 64, 1000} {
+	// 17..128 exercise partial stripes, 129 a full stripe plus a tail, 4096
+	// and 70000 many full stripes (the multi-block keystream path).
+	for _, n := range []int{0, 1, 15, 16, 17, 64, 127, 128, 129, 1000, 4096, 70000} {
 		src := bytes.Repeat([]byte{0xa5}, n)
 		want := make([]byte, n)
 		cipher.NewCTR(block, iv).XORKeyStream(want, src)

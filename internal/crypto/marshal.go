@@ -16,6 +16,9 @@ type wireRing struct {
 	N      *big.Int
 	Lambda *big.Int
 	Mu     *big.Int
+	P      *big.Int // prime factor of N enabling CRT decryption; optional
+	// (gob tolerates its absence, so blobs from older senders still decode —
+	// their keys just decrypt on the textbook path).
 }
 
 // Marshal serializes the ring for inclusion in a dispatch message
@@ -27,6 +30,7 @@ func (k *KeyRing) Marshal() ([]byte, error) {
 		if k.PK.HasPrivate() {
 			w.Lambda = k.PK.lambda
 			w.Mu = k.PK.mu
+			w.P = k.PK.p
 		}
 	}
 	var buf bytes.Buffer
@@ -79,6 +83,21 @@ func UnmarshalKeyRing(data []byte) (*KeyRing, error) {
 				return nil, fmt.Errorf("crypto: unmarshaling key ring %s: malformed Paillier private part", w.ID)
 			}
 			pk.lambda, pk.mu = w.Lambda, w.Mu
+			if w.P != nil {
+				// The factor must actually split the modulus; anything else
+				// is a corrupt or hostile blob. N's only nontrivial divisors
+				// are its two primes, so divisibility plus bounds is a full
+				// check.
+				q := new(big.Int)
+				if w.P.Cmp(big.NewInt(1)) <= 0 || w.P.Cmp(w.N) >= 0 ||
+					new(big.Int).Mod(w.N, w.P).Sign() != 0 {
+					return nil, fmt.Errorf("crypto: unmarshaling key ring %s: Paillier factor does not divide the modulus", w.ID)
+				}
+				q.Div(w.N, w.P)
+				if !pk.initCRT(w.P, q) {
+					return nil, fmt.Errorf("crypto: unmarshaling key ring %s: degenerate Paillier factor", w.ID)
+				}
+			}
 		}
 		ring.PK = pk
 	}

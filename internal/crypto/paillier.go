@@ -24,6 +24,18 @@ type Paillier struct {
 	lambda *big.Int // lcm(p-1, q-1)
 	mu     *big.Int // (L(g^λ mod n²))⁻¹ mod n
 
+	// CRT decryption state, present when the factorization n = p·q is known
+	// (generated keys, and unmarshaled rings that carry a prime factor).
+	// Decrypting mod p² and q² and recombining costs two half-width
+	// exponentiations instead of one full-width one — roughly 4× less work —
+	// and is exactly equivalent; keys without it (legacy wire blobs) fall
+	// back to the textbook path.
+	p, q       *big.Int
+	p2, q2     *big.Int // p², q²
+	pOrd, qOrd *big.Int // p-1, q-1 (the CRT decryption exponents)
+	hp, hq     *big.Int // Lp(g^(p-1) mod p²)⁻¹ mod p and the q analogue
+	qInvP      *big.Int // q⁻¹ mod p (Garner recombination)
+
 	// Precomputation state (fixed-base randomizer table and pool), built
 	// lazily; see paillier_precomp.go.
 	preMu sync.Mutex
@@ -71,8 +83,33 @@ func GeneratePaillier(bits int) (*Paillier, error) {
 			continue // degenerate pair; retry
 		}
 		pk.mu = mu
+		if !pk.initCRT(p, q) {
+			continue // degenerate pair; retry
+		}
 		return pk, nil
 	}
+}
+
+// initCRT derives the CRT decryption state from the prime factorization.
+// It reports false when any required inverse does not exist (degenerate
+// factors), leaving the key on the textbook path.
+func (p *Paillier) initCRT(pp, qq *big.Int) bool {
+	one := big.NewInt(1)
+	p2 := new(big.Int).Mul(pp, pp)
+	q2 := new(big.Int).Mul(qq, qq)
+	pOrd := new(big.Int).Sub(pp, one)
+	qOrd := new(big.Int).Sub(qq, one)
+	// hp = Lp(g^(p-1) mod p²)⁻¹ mod p, with Lp(u) = (u-1)/p.
+	hp := new(big.Int).ModInverse(lOf(new(big.Int).Exp(p.G, pOrd, p2), pp), pp)
+	hq := new(big.Int).ModInverse(lOf(new(big.Int).Exp(p.G, qOrd, q2), qq), qq)
+	qInvP := new(big.Int).ModInverse(qq, pp)
+	if hp == nil || hq == nil || qInvP == nil {
+		return false
+	}
+	p.p, p.q, p.p2, p.q2 = pp, qq, p2, q2
+	p.pOrd, p.qOrd = pOrd, qOrd
+	p.hp, p.hq, p.qInvP = hp, hq, qInvP
+	return true
 }
 
 // Public returns a copy of the key holding only the public part: it can
@@ -86,7 +123,12 @@ func (p *Paillier) HasPrivate() bool { return p.lambda != nil }
 
 // lFunc computes L(u) = (u - 1) / n.
 func (p *Paillier) lFunc(u *big.Int) *big.Int {
-	return new(big.Int).Div(new(big.Int).Sub(u, big.NewInt(1)), p.N)
+	return lOf(u, p.N)
+}
+
+// lOf computes L(u) = (u - 1) / d for the modulus-specific L functions.
+func lOf(u, d *big.Int) *big.Int {
+	return new(big.Int).Div(new(big.Int).Sub(u, big.NewInt(1)), d)
 }
 
 // encodeSigned maps a signed message into Z_n (negative values wrap to the
@@ -118,22 +160,47 @@ func (p *Paillier) Encrypt(m *big.Int) (*big.Int, error) {
 	return c, nil
 }
 
-// Decrypt recovers the signed message of a ciphertext.
+// Decrypt recovers the signed message of a ciphertext, via CRT when the
+// factorization is known and the textbook single exponentiation otherwise.
 func (p *Paillier) Decrypt(c *big.Int) (*big.Int, error) {
 	cryptoStats.pheDecrypts.Add(1)
 	if !p.HasPrivate() {
 		return nil, ErrNoPrivateKey
 	}
-	u := new(big.Int).Exp(c, p.lambda, p.N2)
-	m := p.lFunc(u)
-	m.Mul(m, p.mu)
-	m.Mod(m, p.N)
+	var m *big.Int
+	if p.p != nil {
+		m = p.decryptCRT(c)
+	} else {
+		u := new(big.Int).Exp(c, p.lambda, p.N2)
+		m = p.lFunc(u)
+		m.Mul(m, p.mu)
+		m.Mod(m, p.N)
+	}
 	// Decode signed representation.
 	half := new(big.Int).Rsh(p.N, 1)
 	if m.Cmp(half) > 0 {
 		m.Sub(m, p.N)
 	}
 	return m, nil
+}
+
+// decryptCRT recovers m mod n by decrypting mod p² and q² separately —
+// mp = Lp(c^(p-1) mod p²)·hp mod p and the q analogue — then recombining
+// with Garner's formula m = mq + q·((mp - mq)·q⁻¹ mod p). The two
+// exponentiations run over half-width moduli with half-width exponents, so
+// the whole decryption does ~4× less modular work than c^λ mod n².
+func (p *Paillier) decryptCRT(c *big.Int) *big.Int {
+	mp := lOf(new(big.Int).Exp(c, p.pOrd, p.p2), p.p)
+	mp.Mul(mp, p.hp)
+	mp.Mod(mp, p.p)
+	mq := lOf(new(big.Int).Exp(c, p.qOrd, p.q2), p.q)
+	mq.Mul(mq, p.hq)
+	mq.Mod(mq, p.q)
+	h := new(big.Int).Sub(mp, mq)
+	h.Mul(h, p.qInvP)
+	h.Mod(h, p.p)
+	m := h.Mul(h, p.q)
+	return m.Add(m, mq)
 }
 
 // Add homomorphically adds two ciphertexts: Dec(Add(c1,c2)) = m1 + m2.

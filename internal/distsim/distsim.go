@@ -319,11 +319,24 @@ func rowsBytes(rows [][]exec.Value) int64 {
 	return total
 }
 
+// dictLedger tracks, for one edge, which dictionaries have already crossed
+// it: a dictionary's content ships once per edge, while every batch ships
+// only its 4-byte codes. Each producer goroutine owns one edge and one
+// ledger, so no locking.
+type dictLedger struct {
+	seen map[any]bool // dictionary identities (&dict[0]) already shipped
+}
+
+func newDictLedger() *dictLedger { return &dictLedger{seen: make(map[any]bool)} }
+
 // batchBytes measures the encoded size of a columnar batch without
 // materializing rows: the streaming runtime accounts every shipped batch
-// with it. Cell for cell it matches rowsBytes over the same logical rows,
-// so streaming and materializing runs ledger identical byte counts.
-func batchBytes(b *exec.Batch) int64 {
+// with it. For the non-dict layouts it matches rowsBytes cell for cell over
+// the same logical rows, so streaming and materializing runs ledger
+// identical byte counts; dict-encoded columns instead account codes per
+// batch plus each dictionary's content once per edge (dl), which is the
+// point of shipping them encoded.
+func batchBytes(b *exec.Batch, dl *dictLedger) int64 {
 	var total int64
 	for ci := range b.Cols {
 		c := &b.Cols[ci]
@@ -349,6 +362,8 @@ func batchBytes(b *exec.Batch) int64 {
 			for _, d := range c.Bytes {
 				total += int64(len(d))
 			}
+		case exec.ColDict, exec.ColCipherDict:
+			total += dictColBytes(c, b.N, dl)
 		default:
 			for i := range c.Vals {
 				total += valueBytes(c.Vals[i])
@@ -356,6 +371,51 @@ func batchBytes(b *exec.Batch) int64 {
 		}
 	}
 	return total
+}
+
+// dictColBytes accounts one shipped dict-layout column: 4 bytes of code per
+// cell, plus the dictionary's content bytes the first time that dictionary
+// crosses this edge. The bytes the plain layout would have shipped for the
+// same cells are recorded alongside in the process-global dict stats, so
+// the wire saving is observable end to end.
+func dictColBytes(c *exec.Column, n int, dl *dictLedger) int64 {
+	bytes := 4 * int64(n)
+	var plain int64
+	if c.Kind == exec.ColDict {
+		if len(c.Dict) > 0 {
+			if id := &c.Dict[0]; !dl.seen[id] {
+				dl.seen[id] = true
+				for _, s := range c.Dict {
+					bytes += int64(len(s))
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if c.IsNull(i) {
+				plain++
+			} else {
+				plain += int64(len(c.Dict[c.Codes[i]]))
+			}
+		}
+	} else {
+		if len(c.CipherDict) > 0 {
+			if id := &c.CipherDict[0]; !dl.seen[id] {
+				dl.seen[id] = true
+				for _, d := range c.CipherDict {
+					bytes += int64(len(d))
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if c.IsNull(i) {
+				plain++
+			} else {
+				plain += int64(len(c.CipherDict[c.Codes[i]]))
+			}
+		}
+	}
+	exec.AddDictWireBytes(uint64(bytes), uint64(plain))
+	return bytes
 }
 
 func valueBytes(v exec.Value) int64 {

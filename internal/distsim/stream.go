@@ -141,6 +141,7 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 			var rows, batches int
 			var bytes int64
 			var waited time.Duration
+			dl := newDictLedger() // this goroutine's edge: dictionaries ship once
 			first := true
 			var sinkErr error
 			aborted := false
@@ -158,7 +159,7 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 					}
 					return nil
 				}
-				bb := batchBytes(b)
+				bb := batchBytes(b, dl)
 				bytes += bb
 				// The producer bears the outbound link latency of each
 				// batch before handing it over: RTT once per edge, then

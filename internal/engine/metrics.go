@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mpq/internal/crypto"
+	"mpq/internal/exec"
 	"mpq/internal/obs"
 )
 
@@ -110,6 +111,43 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	r.CounterFunc("mpq_paillier_randomizer_pool_total", poolHelp, func() float64 {
 		return float64(crypto.ReadStats().PaillierPoolMisses)
 	}, obs.L("result", "miss"))
+
+	// Dictionary-encoding counters are process-global exec atomics, bridged
+	// like the crypto bill: how many string columns execute on codes, the
+	// per-distinct-value crypto multiplier, and the wire bytes dict layouts
+	// shipped vs what plain layouts would have cost.
+	r.CounterFunc("mpq_exec_dict_columns_built_total",
+		"String columns promoted to dictionary encoding.", func() float64 {
+			return float64(exec.ReadDictStats().ColumnsBuilt)
+		})
+	r.CounterFunc("mpq_exec_dict_cells_total",
+		"Cells covered by dictionary-encoded columns.", func() float64 {
+			return float64(exec.ReadDictStats().Cells)
+		})
+	r.CounterFunc("mpq_exec_dict_entries_total",
+		"Distinct dictionary entries across promoted columns.", func() float64 {
+			return float64(exec.ReadDictStats().Entries)
+		})
+	const dictCryptoHelp = "Dictionary crypto fast path: entries processed once vs cells covered, by direction."
+	r.CounterFunc("mpq_exec_dict_crypto_entries_total", dictCryptoHelp, func() float64 {
+		return float64(exec.ReadDictStats().EncEntries)
+	}, obs.L("dir", "encrypt"))
+	r.CounterFunc("mpq_exec_dict_crypto_entries_total", dictCryptoHelp, func() float64 {
+		return float64(exec.ReadDictStats().DecEntries)
+	}, obs.L("dir", "decrypt"))
+	r.CounterFunc("mpq_exec_dict_crypto_cells_total", dictCryptoHelp, func() float64 {
+		return float64(exec.ReadDictStats().EncCells)
+	}, obs.L("dir", "encrypt"))
+	r.CounterFunc("mpq_exec_dict_crypto_cells_total", dictCryptoHelp, func() float64 {
+		return float64(exec.ReadDictStats().DecCells)
+	}, obs.L("dir", "decrypt"))
+	const dictWireHelp = "Bytes shipped for dict-encoded columns, vs what the plain layout would have shipped."
+	r.CounterFunc("mpq_exec_dict_wire_bytes_total", dictWireHelp, func() float64 {
+		return float64(exec.ReadDictStats().WireDictBytes)
+	}, obs.L("layout", "dict"))
+	r.CounterFunc("mpq_exec_dict_wire_bytes_total", dictWireHelp, func() float64 {
+		return float64(exec.ReadDictStats().WirePlainBytes)
+	}, obs.L("layout", "plain"))
 
 	return m
 }

@@ -16,14 +16,19 @@ type ColKind uint8
 // ColCipherBytes carries the ciphertext payloads of a column whose cells all
 // share one symmetric scheme and key (deterministic, randomized, or OPE), so
 // predicate evaluation and batch decryption run over [][]byte without
-// materializing a Cipher per cell. ColAny is the generic fallback: a []Value
-// vector for mixed-kind columns, Paillier ciphertexts, and anything else.
+// materializing a Cipher per cell. ColDict is a dictionary-encoded string
+// column (per-cell uint32 codes into a deduplicated shared dictionary);
+// ColCipherDict is its encrypted twin, whose dictionary holds one ciphertext
+// per distinct plaintext. ColAny is the generic fallback: a []Value vector
+// for mixed-kind columns, Paillier ciphertexts, and anything else.
 const (
 	ColAny ColKind = iota
 	ColInt
 	ColFloat
 	ColStr
 	ColCipherBytes
+	ColDict
+	ColCipherDict
 )
 
 // Column is one attribute's cells across a batch, stored column-major. The
@@ -46,6 +51,16 @@ type Column struct {
 	KeyID  string
 	Plains []Kind
 
+	// ColDict / ColCipherDict: per-cell codes into a shared, deduplicated
+	// dictionary. Codes is private to the column; Dict (plaintext entries)
+	// and CipherDict (one ciphertext per distinct plaintext, with the shared
+	// Scheme/KeyID above; every entry's plaintext kind is KString) are
+	// immutable once published and shared across slices, gathers, batches,
+	// and morsel workers. NULL cells carry dictNullCode in their slot.
+	Codes      []uint32
+	Dict       []string
+	CipherDict [][]byte
+
 	Vals []Value // ColAny
 
 	// Nulls is a bitmap over the typed layouts: bit i set means cell i is
@@ -65,6 +80,8 @@ func (c *Column) Len() int {
 		return len(c.Strs)
 	case ColCipherBytes:
 		return len(c.Bytes)
+	case ColDict, ColCipherDict:
+		return len(c.Codes)
 	default:
 		return len(c.Vals)
 	}
@@ -112,6 +129,10 @@ func (c *Column) Value(i int) Value {
 		return String(c.Strs[i])
 	case ColCipherBytes:
 		return Enc(&Cipher{Scheme: c.Scheme, KeyID: c.KeyID, Data: c.Bytes[i], Plain: c.Plains[i]})
+	case ColDict:
+		return String(c.Dict[c.Codes[i]])
+	case ColCipherDict:
+		return Enc(&Cipher{Scheme: c.Scheme, KeyID: c.KeyID, Data: c.CipherDict[c.Codes[i]], Plain: KString})
 	default:
 		return c.Vals[i]
 	}
@@ -259,6 +280,11 @@ func (c *Column) slice(lo, hi int) Column {
 		out.Bytes = c.Bytes[lo:hi]
 		out.Plains = c.Plains[lo:hi]
 		out.Scheme, out.KeyID = c.Scheme, c.KeyID
+	case ColDict, ColCipherDict:
+		out.Codes = c.Codes[lo:hi]
+		out.Dict = c.Dict
+		out.CipherDict = c.CipherDict
+		out.Scheme, out.KeyID = c.Scheme, c.KeyID
 	default:
 		out.Vals = c.Vals[lo:hi]
 	}
@@ -320,6 +346,14 @@ func (c *Column) gather(sel []int32) Column {
 			out.Bytes[o] = c.Bytes[i]
 			out.Plains[o] = c.Plains[i]
 		}
+	case ColDict, ColCipherDict:
+		out.Codes = make([]uint32, n)
+		out.Dict = c.Dict
+		out.CipherDict = c.CipherDict
+		out.Scheme, out.KeyID = c.Scheme, c.KeyID
+		for o, i := range sel {
+			out.Codes[o] = c.Codes[i]
+		}
 	default:
 		out.Vals = make([]Value, n)
 		for o, i := range sel {
@@ -362,6 +396,17 @@ func appendCellKey(buf []byte, c *Column, i int) ([]byte, error) {
 		case algebra.SchemeDeterministic, algebra.SchemeOPE:
 			buf = append(buf, 'c')
 			return append(buf, c.Bytes[i]...), nil
+		default:
+			return nil, fmt.Errorf("exec: cannot group/join on %s ciphertext", c.Scheme)
+		}
+	case ColDict:
+		buf = append(buf, 's')
+		return append(buf, c.Dict[c.Codes[i]]...), nil
+	case ColCipherDict:
+		switch c.Scheme {
+		case algebra.SchemeDeterministic, algebra.SchemeOPE:
+			buf = append(buf, 'c')
+			return append(buf, c.CipherDict[c.Codes[i]]...), nil
 		default:
 			return nil, fmt.Errorf("exec: cannot group/join on %s ciphertext", c.Scheme)
 		}

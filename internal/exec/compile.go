@@ -323,7 +323,7 @@ func (e *Executor) buildEncrypt(enc *algebra.Encrypt) (Operator, error) {
 				idx = append(idx, ci)
 			}
 		}
-		cols = append(cols, encCol{attr: a, scheme: scheme, ring: ring, idx: idx})
+		cols = append(cols, newEncCol(a, scheme, ring, idx))
 	}
 	return &encryptOp{child: child, e: e, cols: cols}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/big"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mpq/internal/algebra"
 	"mpq/internal/crypto"
@@ -113,6 +114,48 @@ func encryptColumnPar(e *Executor, ring *crypto.KeyRing, scheme algebra.Scheme, 
 	return runChunks(len(vals), e.cryptoWorkers(), minChunk, func(lo, hi int) error {
 		return encryptColumnInto(ring, scheme, vals[lo:hi], dst[lo:hi])
 	})
+}
+
+// dictEncMemo caches one plaintext dictionary's encryption, so every batch
+// of a column (table scans serve windows over one shared dictionary) reuses
+// the same ciphertext dictionary: each distinct value is encrypted once per
+// column, not once per batch, and the cipher dict keeps one identity for the
+// downstream per-edge wire ledgers and predicate memos.
+type dictEncMemo struct {
+	plainID    *string // identity of the plaintext dictionary (DictID)
+	cipherDict [][]byte
+}
+
+// encryptDictColumn encrypts a dictionary-encoded string column by
+// encrypting each distinct dictionary entry exactly once; the codes forward
+// into the cipher-dict column zero-copy. Deterministic scheme only: equal
+// plaintexts must map to equal ciphertexts for cells to share an entry
+// (randomized encryption would link equal cells; OPE rejects strings).
+// memo persists the encrypted dictionary across batches; a racing rebuild
+// under morsel parallelism is idempotent (deterministic ciphertexts).
+func encryptDictColumn(e *Executor, ring *crypto.KeyRing, scheme algebra.Scheme, col *Column, memo *atomic.Pointer[dictEncMemo]) (Column, error) {
+	cipherDict := func(cd [][]byte) Column {
+		dictStats.encCells.Add(uint64(len(col.Codes)))
+		return Column{Kind: ColCipherDict, Scheme: scheme, KeyID: ring.ID,
+			Codes: col.Codes, CipherDict: cd, Nulls: col.Nulls}
+	}
+	if m := memo.Load(); m != nil && m.plainID == DictID(col.Dict) {
+		return cipherDict(m.cipherDict), nil
+	}
+	vals := make([]Value, len(col.Dict))
+	for i, s := range col.Dict {
+		vals[i] = String(s)
+	}
+	if err := encryptColumnPar(e, ring, scheme, vals, vals); err != nil {
+		return Column{}, err
+	}
+	cd := make([][]byte, len(vals))
+	for i := range vals {
+		cd[i] = vals[i].C.Data
+	}
+	dictStats.encEntries.Add(uint64(len(cd)))
+	memo.Store(&dictEncMemo{plainID: DictID(col.Dict), cipherDict: cd})
+	return cipherDict(cd), nil
 }
 
 // encryptColumnInto encrypts vals into dst (dst may alias vals; every
@@ -366,6 +409,32 @@ func decryptCells(ring *crypto.KeyRing, scheme algebra.Scheme, cells []cell, row
 // Large columns fan out to the intra-batch worker pool. The caller has
 // already verified every cell is a ciphertext.
 func (e *Executor) decryptColumn(col *Column, resolve func(string) (*crypto.KeyRing, error)) (Column, error) {
+	if col.Kind == ColCipherDict {
+		// Decrypt the dictionary once and fan the codes back out: the
+		// plaintext column stays dict-encoded, sharing the codes vector.
+		ring, err := resolve(col.KeyID)
+		if err != nil {
+			return Column{}, err
+		}
+		ents := make([]Value, len(col.CipherDict))
+		plains := make([]Kind, len(col.CipherDict))
+		for i := range plains {
+			plains[i] = KString
+		}
+		if err := decryptBytesInto(ring, col.Scheme, col.CipherDict, plains, ents); err != nil {
+			return Column{}, err
+		}
+		dict := make([]string, len(ents))
+		for i := range ents {
+			if ents[i].Kind != KString {
+				return Column{}, fmt.Errorf("exec: cipher-dict entry is not a string")
+			}
+			dict[i] = ents[i].S
+		}
+		dictStats.decEntries.Add(uint64(len(dict)))
+		dictStats.decCells.Add(uint64(len(col.Codes)))
+		return Column{Kind: ColDict, Codes: col.Codes, Dict: dict, Nulls: col.Nulls}, nil
+	}
 	n := col.Len()
 	vals := make([]Value, n)
 	if col.Kind == ColCipherBytes {

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"mpq/internal/algebra"
 	"mpq/internal/crypto"
@@ -157,11 +158,25 @@ func cmpS(a, b string) int {
 	return 0
 }
 
+// dictAVMemo caches one attribute-vs-constant predicate's verdict per
+// dictionary entry, so the per-row loop reduces to a code-indexed bool
+// lookup and never touches the dictionary strings (an equality miss keeps
+// every verdict false and selects nothing). Compiled predicate closures are
+// shared read-only across morsel workers, so the memo is published through
+// an atomic pointer; losing a publication race just recomputes an identical
+// table.
+type dictAVMemo struct {
+	plainID  *string // identity of the plaintext dictionary memoized
+	cipherID *[]byte // identity of the cipher dictionary memoized
+	verdict  []bool  // verdict[code] — does the predicate hold for entry code
+}
+
 // compileColCmpAV compiles an attribute-vs-literal comparison. The typed
 // fast paths compare the column vector directly against the pre-resolved
-// constant; ciphertext-byte columns compare against the dispatched
-// encrypted constant; generic columns fall back to the shared cell
-// evaluator.
+// constant; dictionary columns resolve the constant against the dictionary
+// once and then test codes; ciphertext-byte columns compare against the
+// dispatched encrypted constant; generic columns fall back to the shared
+// cell evaluator.
 func (e *Executor) compileColCmpAV(c *algebra.CmpAV, r *schemaResolver) (colPred, error) {
 	ix, err := r.colFor(c.A, c.Agg)
 	if err != nil {
@@ -171,6 +186,7 @@ func (e *Executor) compileColCmpAV(c *algebra.CmpAV, r *schemaResolver) (colPred
 	rhs := litValue(c.V)
 	op := c.Op
 	cell := e.compileCellAV(c)
+	var memo atomic.Pointer[dictAVMemo]
 	return func(b *Batch, sel []int32) ([]int32, error) {
 		col := &b.Cols[ix]
 		out := sel[:0]
@@ -212,6 +228,101 @@ func (e *Executor) compileColCmpAV(c *algebra.CmpAV, r *schemaResolver) (colPred
 					return nil, fmt.Errorf("exec: NULL comparison")
 				}
 				if opHolds(op, cmpS(col.Strs[i], rs)) {
+					out = append(out, i)
+				}
+			}
+		case col.Kind == ColDict && rhs.Kind == KString:
+			// Resolve the constant against the dictionary once per dict:
+			// verdict[code] answers the comparison (or LIKE match) for every
+			// row carrying that code, so the row loop stays string-free.
+			m := memo.Load()
+			if m == nil || m.plainID != DictID(col.Dict) {
+				v := make([]bool, len(col.Dict))
+				if op == sql.OpLike {
+					for e, s := range col.Dict {
+						v[e] = likeMatch(s, rhs.S)
+					}
+				} else {
+					for e, s := range col.Dict {
+						v[e] = opHolds(op, cmpS(s, rhs.S))
+					}
+				}
+				m = &dictAVMemo{plainID: DictID(col.Dict), verdict: v}
+				memo.Store(m)
+			}
+			verdict := m.verdict
+			if op == sql.OpLike {
+				for _, i := range sel {
+					if col.IsNull(int(i)) {
+						return nil, fmt.Errorf("exec: LIKE over non-string")
+					}
+					if verdict[col.Codes[i]] {
+						out = append(out, i)
+					}
+				}
+			} else {
+				for _, i := range sel {
+					if col.IsNull(int(i)) {
+						return nil, fmt.Errorf("exec: NULL comparison")
+					}
+					if verdict[col.Codes[i]] {
+						out = append(out, i)
+					}
+				}
+			}
+		case col.Kind == ColCipherDict:
+			// Mirror the ColCipherBytes guards exactly, then resolve the
+			// encrypted constant against the cipher dictionary once.
+			// CipherDict columns are built null-free (the dict encrypt fast
+			// path skips nullable columns), so no per-row null checks.
+			if !hasKonst {
+				if len(sel) == 0 {
+					return out, nil
+				}
+				return nil, fmt.Errorf("exec: no encrypted constant for condition %s (not dispatched?)", c)
+			}
+			if !konst.IsCipher() {
+				if len(sel) == 0 {
+					return out, nil
+				}
+				return nil, fmt.Errorf("exec: constant for %s is not encrypted", c)
+			}
+			switch col.Scheme {
+			case algebra.SchemeDeterministic:
+				if op != sql.OpEq && op != sql.OpNeq {
+					if len(sel) == 0 {
+						return out, nil
+					}
+					return nil, fmt.Errorf("exec: %s over deterministic ciphertext", op)
+				}
+			case algebra.SchemeOPE:
+				// comparable below
+			default:
+				if len(sel) == 0 {
+					return out, nil
+				}
+				return nil, fmt.Errorf("exec: cannot evaluate %s over %s ciphertext", op, col.Scheme)
+			}
+			m := memo.Load()
+			if m == nil || m.cipherID != cipherDictID(col.CipherDict) {
+				kd := konst.C.Data
+				v := make([]bool, len(col.CipherDict))
+				if col.Scheme == algebra.SchemeDeterministic {
+					want := op == sql.OpEq
+					for e, ct := range col.CipherDict {
+						v[e] = crypto.Equal(ct, kd) == want
+					}
+				} else {
+					for e, ct := range col.CipherDict {
+						v[e] = opHolds(op, crypto.CompareOPE(ct, kd))
+					}
+				}
+				m = &dictAVMemo{cipherID: cipherDictID(col.CipherDict), verdict: v}
+				memo.Store(m)
+			}
+			verdict := m.verdict
+			for _, i := range sel {
+				if verdict[col.Codes[i]] {
 					out = append(out, i)
 				}
 			}
@@ -290,8 +401,8 @@ func (e *Executor) compileColCmpAA(c *algebra.CmpAA, r *schemaResolver) (colPred
 	return func(b *Batch, sel []int32) ([]int32, error) {
 		lc, rc := &b.Cols[li], &b.Cols[ri]
 		out := sel[:0]
-		lPlain := lc.Kind == ColInt || lc.Kind == ColFloat || lc.Kind == ColStr
-		rPlain := rc.Kind == ColInt || rc.Kind == ColFloat || rc.Kind == ColStr
+		lPlain := lc.Kind == ColInt || lc.Kind == ColFloat || lc.Kind == ColStr || lc.Kind == ColDict
+		rPlain := rc.Kind == ColInt || rc.Kind == ColFloat || rc.Kind == ColStr || rc.Kind == ColDict
 		switch {
 		case lc.Kind == ColInt && rc.Kind == ColInt:
 			for _, i := range sel {
@@ -364,7 +475,8 @@ func (e *Executor) compileColCmpAA(c *algebra.CmpAA, r *schemaResolver) (colPred
 				}
 				return nil, fmt.Errorf("exec: cannot compare %s ciphertexts", lc.Scheme)
 			}
-		case lPlain != rPlain && (lc.Kind == ColCipherBytes || rc.Kind == ColCipherBytes):
+		case lPlain != rPlain && (lc.Kind == ColCipherBytes || rc.Kind == ColCipherBytes ||
+			lc.Kind == ColCipherDict || rc.Kind == ColCipherDict):
 			if len(sel) == 0 {
 				return out, nil
 			}

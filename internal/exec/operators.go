@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"mpq/internal/algebra"
 	"mpq/internal/crypto"
@@ -229,8 +230,9 @@ func buildJoinIndex(right Operator, hashR int) (*joinIndex, error) {
 }
 
 // uniformKind returns the layout every batch holds column ci in, or ColAny
-// when they disagree (mixed kinds, or cipher columns under different
-// schemes/keys).
+// when they disagree (mixed kinds, cipher columns under different
+// schemes/keys, or dictionary columns over different dictionaries — codes
+// are only comparable within one dictionary identity).
 func uniformKind(batches []*Batch, ci int) ColKind {
 	if len(batches) == 0 {
 		return ColAny
@@ -241,8 +243,20 @@ func uniformKind(batches []*Batch, ci int) ColKind {
 		if c.Kind != first.Kind {
 			return ColAny
 		}
-		if c.Kind == ColCipherBytes && (c.Scheme != first.Scheme || c.KeyID != first.KeyID) {
-			return ColAny
+		switch c.Kind {
+		case ColCipherBytes:
+			if c.Scheme != first.Scheme || c.KeyID != first.KeyID {
+				return ColAny
+			}
+		case ColDict:
+			if DictID(c.Dict) != DictID(first.Dict) {
+				return ColAny
+			}
+		case ColCipherDict:
+			if cipherDictID(c.CipherDict) != cipherDictID(first.CipherDict) ||
+				c.Scheme != first.Scheme || c.KeyID != first.KeyID {
+				return ColAny
+			}
 		}
 	}
 	return first.Kind
@@ -289,6 +303,16 @@ func (x *joinIndex) gatherCol(ci int, refs []buildRef) Column {
 				c := &x.batches[rf.b].Cols[ci]
 				out.Bytes[o] = c.Bytes[rf.r]
 				out.Plains[o] = c.Plains[rf.r]
+			}
+		case ColDict, ColCipherDict:
+			// Uniform dict layout implies one shared dictionary (uniformKind
+			// checked identity), so the gather copies codes only.
+			src0 := &x.batches[0].Cols[ci]
+			out.Dict, out.CipherDict = src0.Dict, src0.CipherDict
+			out.Scheme, out.KeyID = src0.Scheme, src0.KeyID
+			out.Codes = make([]uint32, n)
+			for o, rf := range refs {
+				out.Codes[o] = x.batches[rf.b].Cols[ci].Codes[rf.r]
 			}
 		}
 		for o, rf := range refs {
@@ -337,6 +361,16 @@ type hashJoinOp struct {
 	selBuf   []int32    // reused (probe row, build row) pair buffers
 	matchBuf []buildRef //
 	keyBuf   []byte
+
+	// Dictionary probe memo: when the probe key column is dict-encoded, the
+	// index lookup for each dictionary entry is cached per code, so repeated
+	// probe keys encode and hash once per distinct value. Valid for one
+	// dictionary identity at a time; private to this operator (each morsel
+	// worker probes through its own hashJoinOp).
+	probeDict       *string
+	probeCipherDict *[]byte
+	refsByCode      [][]buildRef
+	refsSeen        []bool
 }
 
 func (j *hashJoinOp) Schema() []algebra.Attr { return j.schema }
@@ -380,12 +414,11 @@ func (j *hashJoinOp) Next() (*Batch, error) {
 			if len(probeSel) == j.batch || j.li == j.cur.N {
 				break
 			}
-			var err error
-			j.keyBuf, err = appendCellKey(j.keyBuf[:0], &j.cur.Cols[j.hashL], j.li)
+			refs, err := j.probeRefs(&j.cur.Cols[j.hashL], j.li)
 			if err != nil {
 				return nil, err
 			}
-			j.curMatches, j.matchIdx = j.idx.refs[string(j.keyBuf)], 0
+			j.curMatches, j.matchIdx = refs, 0
 			j.li++
 		}
 		cur := j.cur
@@ -404,6 +437,60 @@ func (j *hashJoinOp) Next() (*Batch, error) {
 			continue // the residual filtered every pair of this window
 		}
 		return out, nil
+	}
+}
+
+// probeRefs returns the build refs matching probe row ri of the key column.
+// Dict-encoded key columns answer from the per-code memo after one canonical
+// lookup per dictionary entry; every other layout (and NULL dict cells,
+// whose code slot is a sentinel) encodes the canonical key per row.
+func (j *hashJoinOp) probeRefs(col *Column, ri int) ([]buildRef, error) {
+	switch {
+	case col.Kind == ColDict && !col.IsNull(ri):
+		if id := DictID(col.Dict); j.probeDict != id {
+			j.probeDict, j.probeCipherDict = id, nil
+			j.resetProbeMemo(len(col.Dict))
+		}
+	case col.Kind == ColCipherDict && !col.IsNull(ri) &&
+		(col.Scheme == algebra.SchemeDeterministic || col.Scheme == algebra.SchemeOPE):
+		if id := cipherDictID(col.CipherDict); j.probeCipherDict != id {
+			j.probeCipherDict, j.probeDict = id, nil
+			j.resetProbeMemo(len(col.CipherDict))
+		}
+	default:
+		var err error
+		j.keyBuf, err = appendCellKey(j.keyBuf[:0], col, ri)
+		if err != nil {
+			return nil, err
+		}
+		return j.idx.refs[string(j.keyBuf)], nil
+	}
+	code := col.Codes[ri]
+	if !j.refsSeen[code] {
+		var err error
+		j.keyBuf, err = appendCellKey(j.keyBuf[:0], col, ri)
+		if err != nil {
+			return nil, err
+		}
+		j.refsByCode[code] = j.idx.refs[string(j.keyBuf)]
+		j.refsSeen[code] = true
+	}
+	return j.refsByCode[code], nil
+}
+
+// resetProbeMemo sizes the per-code memo for a new dictionary, reusing the
+// previous dictionary's storage when it fits.
+func (j *hashJoinOp) resetProbeMemo(n int) {
+	if cap(j.refsByCode) < n {
+		j.refsByCode = make([][]buildRef, n)
+		j.refsSeen = make([]bool, n)
+		return
+	}
+	j.refsByCode = j.refsByCode[:n]
+	j.refsSeen = j.refsSeen[:n]
+	for i := range j.refsSeen {
+		j.refsByCode[i] = nil
+		j.refsSeen[i] = false
 	}
 }
 
@@ -752,6 +839,17 @@ type groupTable struct {
 	groups map[string]*group
 	order  []string
 	keyBuf []byte
+
+	// Dictionary fast path (single dict-encoded key column): groups resolved
+	// by code instead of encoding and hashing the canonical key per row. The
+	// memo maps each dictionary entry to its group after one canonical
+	// registration, so first-seen order and the hk strings mergeFrom matches
+	// on stay byte-identical to the generic path. Valid for one dictionary
+	// identity at a time; groupTable instances are never shared across
+	// workers.
+	dictID       *string
+	cipherDictID *[]byte
+	codeGroups   []*group
 }
 
 func newGroupTable(keyIdx, aggIdx []int, specs []algebra.AggSpec, gather bool, ring ringFn) *groupTable {
@@ -764,6 +862,17 @@ func newGroupTable(keyIdx, aggIdx []int, specs []algebra.AggSpec, gather bool, r
 
 // addBatch accumulates one batch, row by row in row order.
 func (gt *groupTable) addBatch(b *Batch) error {
+	if len(gt.keyIdx) == 1 {
+		col := &b.Cols[gt.keyIdx[0]]
+		switch col.Kind {
+		case ColDict:
+			return gt.addBatchDict(b, col, len(col.Dict))
+		case ColCipherDict:
+			if col.Scheme == algebra.SchemeDeterministic || col.Scheme == algebra.SchemeOPE {
+				return gt.addBatchDict(b, col, len(col.CipherDict))
+			}
+		}
+	}
 	var err error
 	for ri := 0; ri < b.N; ri++ {
 		gt.keyBuf = gt.keyBuf[:0]
@@ -774,34 +883,111 @@ func (gt *groupTable) addBatch(b *Batch) error {
 			}
 			gt.keyBuf = append(gt.keyBuf, '\x1f')
 		}
-		hk := string(gt.keyBuf)
-		grp, ok := gt.groups[hk]
-		if !ok {
-			grp = &group{keyVals: make([]Value, len(gt.keyIdx)), accs: make([]*groupAcc, len(gt.specs))}
-			for i, ix := range gt.keyIdx {
-				grp.keyVals[i] = b.Cols[ix].Value(ri)
-			}
-			for i, sp := range gt.specs {
-				grp.accs[i] = &groupAcc{fn: sp.Func}
-			}
-			gt.groups[hk] = grp
-			gt.order = append(gt.order, hk)
+		grp, err := gt.groupFor(string(gt.keyBuf), b, ri)
+		if err != nil {
+			return err
 		}
-		for i, sp := range gt.specs {
-			acc := grp.accs[i]
-			if sp.Star {
-				if err := acc.add(Value{}, gt.gather, gt.ring); err != nil {
-					return err
-				}
-				continue
-			}
-			col := &b.Cols[gt.aggIdx[i]]
-			if acc.addFast(col, ri, gt.gather) {
-				continue
-			}
-			if err := acc.add(col.Value(ri), gt.gather, gt.ring); err != nil {
+		if err := gt.accumulate(grp, b, ri); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addBatchDict is addBatch for a single dict-encoded key column: each row
+// resolves its group by code through the memo; only a code's first row (and
+// NULL cells, whose code slot is the sentinel) encodes the canonical key,
+// keeping group registration — hk strings, first-seen order, key values —
+// byte-identical to the generic path.
+func (gt *groupTable) addBatchDict(b *Batch, col *Column, dictLen int) error {
+	if col.Kind == ColDict {
+		if id := DictID(col.Dict); gt.dictID != id || gt.cipherDictID != nil {
+			gt.dictID, gt.cipherDictID = id, nil
+			gt.resetCodeGroups(dictLen)
+		}
+	} else {
+		if id := cipherDictID(col.CipherDict); gt.cipherDictID != id || gt.dictID != nil {
+			gt.cipherDictID, gt.dictID = id, nil
+			gt.resetCodeGroups(dictLen)
+		}
+	}
+	var err error
+	for ri := 0; ri < b.N; ri++ {
+		var grp *group
+		if col.IsNull(ri) {
+			gt.keyBuf = append(append(gt.keyBuf[:0], '\x00'), '\x1f')
+			grp, err = gt.groupFor(string(gt.keyBuf), b, ri)
+			if err != nil {
 				return err
 			}
+		} else if code := col.Codes[ri]; gt.codeGroups[code] != nil {
+			grp = gt.codeGroups[code]
+		} else {
+			gt.keyBuf, err = appendCellKey(gt.keyBuf[:0], col, ri)
+			if err != nil {
+				return err
+			}
+			gt.keyBuf = append(gt.keyBuf, '\x1f')
+			grp, err = gt.groupFor(string(gt.keyBuf), b, ri)
+			if err != nil {
+				return err
+			}
+			gt.codeGroups[code] = grp
+		}
+		if err := gt.accumulate(grp, b, ri); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resetCodeGroups sizes the code→group memo for a new dictionary, reusing
+// the previous dictionary's storage when it fits.
+func (gt *groupTable) resetCodeGroups(n int) {
+	if cap(gt.codeGroups) < n {
+		gt.codeGroups = make([]*group, n)
+		return
+	}
+	gt.codeGroups = gt.codeGroups[:n]
+	for i := range gt.codeGroups {
+		gt.codeGroups[i] = nil
+	}
+}
+
+// groupFor returns the group registered under hk, creating it (key values
+// pinned from row ri) in first-seen order on first use.
+func (gt *groupTable) groupFor(hk string, b *Batch, ri int) (*group, error) {
+	grp, ok := gt.groups[hk]
+	if !ok {
+		grp = &group{keyVals: make([]Value, len(gt.keyIdx)), accs: make([]*groupAcc, len(gt.specs))}
+		for i, ix := range gt.keyIdx {
+			grp.keyVals[i] = b.Cols[ix].Value(ri)
+		}
+		for i, sp := range gt.specs {
+			grp.accs[i] = &groupAcc{fn: sp.Func}
+		}
+		gt.groups[hk] = grp
+		gt.order = append(gt.order, hk)
+	}
+	return grp, nil
+}
+
+// accumulate folds row ri of b into grp's accumulators.
+func (gt *groupTable) accumulate(grp *group, b *Batch, ri int) error {
+	for i, sp := range gt.specs {
+		acc := grp.accs[i]
+		if sp.Star {
+			if err := acc.add(Value{}, gt.gather, gt.ring); err != nil {
+				return err
+			}
+			continue
+		}
+		col := &b.Cols[gt.aggIdx[i]]
+		if acc.addFast(col, ri, gt.gather) {
+			continue
+		}
+		if err := acc.add(col.Value(ri), gt.gather, gt.ring); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -985,12 +1171,23 @@ func (u *udfOp) Next() (*Batch, error) {
 // Encryption / decryption
 
 // encCol is one attribute to encrypt: its schema positions and the scheme
-// and key ring resolved at build time.
+// and key ring resolved at build time. dictEnc carries the column's
+// encrypted dictionary across batches (and across morsel workers sharing
+// the compiled chain — atomic because workers race to build it; the
+// deterministic rebuild is idempotent).
 type encCol struct {
-	attr   algebra.Attr
-	scheme algebra.Scheme
-	ring   *crypto.KeyRing
-	idx    []int
+	attr    algebra.Attr
+	scheme  algebra.Scheme
+	ring    *crypto.KeyRing
+	idx     []int
+	dictEnc *atomic.Pointer[dictEncMemo]
+}
+
+// newEncCol builds one encryption target, allocating its shared
+// dictionary-encryption memo.
+func newEncCol(attr algebra.Attr, scheme algebra.Scheme, ring *crypto.KeyRing, idx []int) encCol {
+	return encCol{attr: attr, scheme: scheme, ring: ring, idx: idx,
+		dictEnc: new(atomic.Pointer[dictEncMemo])}
 }
 
 type encryptOp struct {
@@ -1039,7 +1236,7 @@ func (o *encryptOp) Next() (*Batch, error) {
 	for _, c := range o.cols {
 		for _, ci := range c.idx {
 			col := &b.Cols[ci]
-			if col.Kind == ColCipherBytes {
+			if col.Kind == ColCipherBytes || col.Kind == ColCipherDict {
 				return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
 			}
 			if col.Kind == ColAny {
@@ -1048,6 +1245,20 @@ func (o *encryptOp) Next() (*Batch, error) {
 						return nil, fmt.Errorf("exec: re-encrypting %s", c.attr)
 					}
 				}
+			}
+			if col.Kind == ColDict && c.scheme == algebra.SchemeDeterministic && !col.hasNulls() {
+				// Deterministic encryption maps equal plaintexts to equal
+				// ciphertexts, so encrypting the dictionary once covers every
+				// cell; the codes forward zero-copy. Nullable columns fall
+				// back: a NULL cell encrypts to a ciphertext (the oracle
+				// encrypts the NULL tag), which the dict layout cannot carry
+				// in its bitmap.
+				enc, err := encryptDictColumn(o.e, c.ring, c.scheme, col, c.dictEnc)
+				if err != nil {
+					return nil, fmt.Errorf("exec: encrypting %s: %w", c.attr, err)
+				}
+				out.Cols[ci] = enc
+				continue
 			}
 			vals := col.AppendValues(o.colBuf[:0])
 			o.colBuf = vals[:0]
@@ -1132,7 +1343,7 @@ func (o *decryptOp) Next() (*Batch, error) {
 	for _, c := range o.cols {
 		for _, ci := range c.idx {
 			src := &b.Cols[ci]
-			if src.Kind != ColCipherBytes {
+			if src.Kind != ColCipherBytes && src.Kind != ColCipherDict {
 				if src.Kind != ColAny {
 					return nil, fmt.Errorf("exec: decrypting plaintext %s", c.attr)
 				}

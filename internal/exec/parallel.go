@@ -226,7 +226,7 @@ func (e *Executor) planChain(n algebra.Node) (*chain, bool, error) {
 					idx = append(idx, ci)
 				}
 			}
-			cols = append(cols, encCol{attr: a, scheme: scheme, ring: ring, idx: idx})
+			cols = append(cols, newEncCol(a, scheme, ring, idx))
 		}
 		ce := e.chainExecutor()
 		c.steps = append(c.steps, func(child Operator) Operator {

@@ -61,7 +61,7 @@ func (t *Table) snapshotColumns() ([]Column, int, error) {
 		for ri, r := range rows {
 			buf[ri] = r[ci]
 		}
-		cols[ci] = NewColumn(buf)
+		cols[ci] = maybeDictColumn(NewColumn(buf))
 	}
 	t.cols, t.colRows = cols, len(rows)
 	return cols, len(rows), nil
