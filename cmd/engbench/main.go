@@ -13,13 +13,18 @@
 // in the way). -workers sweeps the morsel worker pool: each count > 1 adds
 // a batch-cached-wN closed-loop cell and a columnar-wN interior cell, so
 // the report shows how fragment-internal parallelism scales with cores
-// (bounded by the recorded GOMAXPROCS). -paillier-bits (alias
-// -paillierbits) sizes the Paillier primes and -cryptoworkers the
-// intra-batch crypto worker pool. Results are written as JSON
-// (BENCH_engine.json in the repo records the measured comparison;
+// (bounded by the recorded GOMAXPROCS). -membudget sweeps per-query memory
+// budgets: each adds a batch-cached-mb<N> cell executing with grace-hash
+// spilling to disk whenever live operator state would cross the budget, with
+// the per-query spill volume recorded next to throughput. -partial adds a
+// batch-cached-partial cell with pre-shuffle partial aggregation (compare
+// bytes_per_query), and -adaptive the adaptive batch-sizing cells.
+// -paillier-bits (alias -paillierbits) sizes the Paillier primes and
+// -cryptoworkers the intra-batch crypto worker pool. Results are written as
+// JSON (BENCH_engine.json in the repo records the measured comparison;
 // docs/BENCHMARKS.md explains every cell).
 //
-//	engbench -scenario UAPenc -sf 0.001 -duration 3s -clients 1,2 -workers 1,4 -interior -out BENCH_engine.json
+//	engbench -scenario UAPenc -sf 0.001 -duration 3s -clients 1,2 -workers 1,4 -membudget 65536 -interior -out BENCH_engine.json
 package main
 
 import (
@@ -51,6 +56,12 @@ type cell struct {
 	MeanMs  float64 `json:"mean_ms"`
 	// TTFRMs is the mean time-to-first-row (streaming configurations only).
 	TTFRMs float64 `json:"ttfr_ms,omitempty"`
+	// BytesPerQuery is the mean inter-subject bytes shipped per completed
+	// query — the number the -partial cells move.
+	BytesPerQuery float64 `json:"bytes_per_query,omitempty"`
+	// SpillBytesPerQuery is the mean bytes written to spill runs per
+	// completed query (budgeted -membudget cells only).
+	SpillBytesPerQuery float64 `json:"spill_bytes_per_query,omitempty"`
 }
 
 type report struct {
@@ -117,6 +128,9 @@ func main() {
 		dictF    = flag.Bool("dict", false, "also measure the cached batch pipeline with dictionary encoding forced off (batch-cached-nodict) next to the default policy (batch-cached-dict)")
 		explainF = flag.Bool("explain", false, "print the EXPLAIN ANALYZE tree of each benchmark query (batch pipeline, cached plans) before measuring")
 		interior = flag.Bool("interior", false, "also record the centralized interior microbenchmark (columnar vs row oracle)")
+		budgetsF = flag.String("membudget", "", "comma-separated per-query memory budgets in bytes to sweep: each adds a batch-cached-mb<N> cell executing under that budget with grace-hash spilling to disk")
+		partialF = flag.Bool("partial", false, "also measure pre-shuffle partial aggregation (batch-cached-partial cell; compare bytes_per_query against batch-cached)")
+		adaptive = flag.Bool("adaptive", false, "also measure adaptive batch sizing (batch-cached-adaptive cell, plus batch-stream-adaptive with -stream)")
 		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
 		mbps     = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
 		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
@@ -136,6 +150,12 @@ func main() {
 	workerCounts, err := parseInts(*workersF)
 	if err != nil {
 		log.Fatalf("engbench: -workers: %v", err)
+	}
+	var budgets []int
+	if *budgetsF != "" {
+		if budgets, err = parseInts(*budgetsF); err != nil {
+			log.Fatalf("engbench: -membudget: %v", err)
+		}
 	}
 	sqls := make([]string, 0, len(queryNums))
 	for _, num := range queryNums {
@@ -195,7 +215,10 @@ func main() {
 		cached        bool
 		stream        bool
 		workers       int
-		dictOff       bool // force dictionary promotion off for this cell
+		dictOff       bool  // force dictionary promotion off for this cell
+		memBudget     int64 // per-query budget in bytes (0 = unbudgeted)
+		partial       bool  // pre-shuffle partial aggregation
+		adaptive      bool  // adaptive scan batch sizing
 	}
 	configs := []config{
 		{name: "materializing-cold", materializing: true},
@@ -221,6 +244,27 @@ func main() {
 			config{name: "batch-cached-dict", cached: true},
 			config{name: "batch-cached-nodict", cached: true, dictOff: true})
 	}
+	// The -membudget sweep: the cached batch pipeline re-measured per budget,
+	// spilling to disk whenever live operator state would cross it. Compare
+	// against batch-cached (unbudgeted) for the out-of-core slowdown.
+	for _, mb := range budgets {
+		configs = append(configs, config{name: fmt.Sprintf("batch-cached-mb%d", mb), cached: true, memBudget: int64(mb)})
+	}
+	// The -partial cell: pre-shuffle partial aggregation folds group
+	// aggregates producer-side, so bytes_per_query drops against batch-cached
+	// on aggregation-heavy mixes.
+	if *partialF {
+		configs = append(configs, config{name: "batch-cached-partial", cached: true, partial: true})
+	}
+	// The -adaptive cells: scans start at small windows and grow toward the
+	// configured batch size; the streaming variant shows the time-to-first-row
+	// effect.
+	if *adaptive {
+		configs = append(configs, config{name: "batch-cached-adaptive", cached: true, adaptive: true})
+		if *stream {
+			configs = append(configs, config{name: "batch-stream-adaptive", cached: true, stream: true, adaptive: true})
+		}
+	}
 	for _, c := range configs {
 		if c.stream && !*stream {
 			continue
@@ -241,6 +285,17 @@ func main() {
 		cfg.CryptoWorkers = *cworkers
 		cfg.Workers = c.workers
 		cfg.LinkDelay = delay
+		cfg.MemBudget = c.memBudget
+		cfg.PartialShuffle = c.partial
+		cfg.AdaptiveBatch = c.adaptive
+		if c.memBudget > 0 {
+			dir, err := os.MkdirTemp("", "engbench-spill-*")
+			if err != nil {
+				log.Fatalf("engbench: %v", err)
+			}
+			defer os.RemoveAll(dir)
+			cfg.SpillDir = dir
+		}
 		if !c.cached {
 			cfg.CacheSize = -1
 		}
@@ -265,12 +320,25 @@ func main() {
 			}
 		}
 		for _, n := range clientCounts {
+			statsBefore := eng.Stats()
+			spillBefore := exec.ReadSpillStats()
 			res := run(eng, sqls, n, *duration, c.stream)
 			res.Config = c.name
+			if res.Queries > 0 {
+				shipped := eng.Stats().BytesShipped - statsBefore.BytesShipped
+				res.BytesPerQuery = float64(shipped) / float64(res.Queries)
+				if c.memBudget > 0 {
+					spilled := exec.ReadSpillStats().BytesWritten - spillBefore.BytesWritten
+					res.SpillBytesPerQuery = float64(spilled) / float64(res.Queries)
+				}
+			}
 			rep.Results = append(rep.Results, res)
 			extra := ""
 			if c.stream {
 				extra = fmt.Sprintf("  %8.2f ms-to-first-row", res.TTFRMs)
+			}
+			if c.memBudget > 0 {
+				extra += fmt.Sprintf("  %.0f spill-B/query", res.SpillBytesPerQuery)
 			}
 			log.Printf("%-20s clients=%d  %7.2f q/s  %8.2f ms/query%s", c.name, n, res.QPS, res.MeanMs, extra)
 		}

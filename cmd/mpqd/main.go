@@ -58,6 +58,10 @@ func main() {
 		paillier   = flag.Int("paillier-bits", crypto.DefaultPaillierBits, "Paillier prime size in bits")
 		rtt        = flag.Duration("rtt", 0, "simulated inter-subject link RTT (0 disables)")
 		mbps       = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
+		memBudget  = flag.Int64("membudget", 0, "per-query memory budget in bytes; pipeline breakers spill to disk beyond it (0 = unbudgeted)")
+		spillDir   = flag.String("spilldir", "", "directory for spill runs (default: the OS temp dir)")
+		partial    = flag.Bool("partial", false, "fold pre-shuffle partial aggregates at producing subjects")
+		adaptive   = flag.Bool("adaptive", false, "adaptive scan batch sizing (grow from small first batches)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
@@ -78,6 +82,10 @@ func main() {
 	cfg.Workers = *workers
 	cfg.CacheSize = *cacheSize
 	cfg.PaillierBits = *paillier
+	cfg.MemBudget = *memBudget
+	cfg.SpillDir = *spillDir
+	cfg.PartialShuffle = *partial
+	cfg.AdaptiveBatch = *adaptive
 	if *rtt > 0 {
 		cfg.LinkDelay = &distsim.LinkDelay{RTT: *rtt, BytesPerSec: *mbps * 1e6}
 	}

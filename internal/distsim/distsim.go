@@ -10,6 +10,7 @@ import (
 	"mpq/internal/core"
 	"mpq/internal/crypto"
 	"mpq/internal/exec"
+	"mpq/internal/exec/spill"
 	"mpq/internal/obs"
 )
 
@@ -83,6 +84,22 @@ type Network struct {
 	// exec.DefaultMorselRows). Morsel boundaries never depend on Workers,
 	// so results are deterministic for any setting.
 	MorselRows int
+	// MemBudget, when positive, bounds the bytes of live pipeline-breaker
+	// state (group tables, hash-join build sides) across all fragments of
+	// one run: each execution creates one shared exec.MemAccountant, and
+	// operators that cross it grace-hash spill to disk through SpillDir.
+	MemBudget int64
+	// SpillDir is the directory spill runs are created in when MemBudget is
+	// set ("" = the OS temp dir).
+	SpillDir string
+	// PartialShuffle folds aggregates per group on the producer side of a
+	// shuffle edge feeding a group-by (pre-shuffle partial aggregation):
+	// the edge ships one partial row per group instead of the raw rows, and
+	// the consumer merges the partials. Streaming runtime only.
+	PartialShuffle bool
+	// AdaptiveBatch starts every subject's table scans at a small batch and
+	// grows the window geometrically to BatchSize.
+	AdaptiveBatch bool
 	// Trace, when set, is handed to every subject executor (operator spans)
 	// and receives one obs.Edge per cross-subject transfer, unifying the
 	// ledger's byte accounting with the simulated network waits a query
@@ -144,17 +161,21 @@ func (nw *Network) Clone() *Network {
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
 	c := &Network{
-		subjects:      make(map[authz.Subject]*exec.Executor, len(nw.subjects)),
-		UDFs:          nw.UDFs,
-		preRings:      nw.preRings,
-		Delay:         nw.Delay,
-		BatchSize:     nw.BatchSize,
-		Materializing: nw.Materializing,
-		CryptoWorkers: nw.CryptoWorkers,
-		ValueCrypto:   nw.ValueCrypto,
-		Workers:       nw.Workers,
-		MorselRows:    nw.MorselRows,
-		Trace:         nw.Trace,
+		subjects:       make(map[authz.Subject]*exec.Executor, len(nw.subjects)),
+		UDFs:           nw.UDFs,
+		preRings:       nw.preRings,
+		Delay:          nw.Delay,
+		BatchSize:      nw.BatchSize,
+		Materializing:  nw.Materializing,
+		CryptoWorkers:  nw.CryptoWorkers,
+		ValueCrypto:    nw.ValueCrypto,
+		Workers:        nw.Workers,
+		MorselRows:     nw.MorselRows,
+		MemBudget:      nw.MemBudget,
+		SpillDir:       nw.SpillDir,
+		PartialShuffle: nw.PartialShuffle,
+		AdaptiveBatch:  nw.AdaptiveBatch,
+		Trace:          nw.Trace,
 	}
 	for s, e := range nw.subjects {
 		ce := e.Clone()
@@ -164,9 +185,21 @@ func (nw *Network) Clone() *Network {
 		ce.ValueCrypto = nw.ValueCrypto
 		ce.Workers = nw.Workers
 		ce.MorselRows = nw.MorselRows
+		ce.AdaptiveBatch = nw.AdaptiveBatch
 		c.subjects[s] = ce
 	}
 	return c
+}
+
+// runBudget creates the per-run memory accountant and spill factory of one
+// execution (nil, nil when no budget is set). One accountant is shared by
+// every fragment executor of the run, so the budget caps the run's total
+// live breaker state, not each operator's.
+func (nw *Network) runBudget() (*exec.MemAccountant, exec.SpillFactory) {
+	if nw.MemBudget <= 0 {
+		return nil, nil
+	}
+	return exec.NewMemAccountant(nw.MemBudget), spill.NewFactory(nw.SpillDir)
 }
 
 // record appends a transfer to the ledger, safely from concurrent workers.
@@ -229,6 +262,7 @@ func extExecutor(ext *core.ExtendedPlan) func(algebra.Node) authz.Subject {
 func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, error) {
 	executor := extExecutor(ext)
 	results := make(map[algebra.Node]*exec.Table)
+	runMem, runSpill := nw.runBudget()
 	var evaluate func(n algebra.Node) error
 	evaluate = func(n algebra.Node) error {
 		subj := executor(n)
@@ -240,6 +274,9 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 		ex.ValueCrypto = nw.ValueCrypto
 		ex.Workers = nw.Workers
 		ex.MorselRows = nw.MorselRows
+		ex.Mem = runMem
+		ex.Spill = runSpill
+		ex.AdaptiveBatch = nw.AdaptiveBatch
 		ex.Trace = nw.Trace
 		for name, fn := range nw.UDFs {
 			ex.UDFs[name] = fn

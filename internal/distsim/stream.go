@@ -36,6 +36,68 @@ var errStreamAborted = fmt.Errorf("distsim: stream aborted")
 type streamEdge struct {
 	to authz.Subject // consuming fragment's subject
 	op string        // Op() of the consuming operation, for the ledger
+	// partial, when set, marks a pre-shuffle partial aggregation edge: the
+	// producer evaluates the consumer's selection chain, folds the group-by's
+	// aggregates per group, and ships one partial row per group; the consumer
+	// splices the shuffle in at the group-by's child and merges the partials.
+	partial *partialEdge
+}
+
+// partialEdge is one pre-shuffle partial aggregation opportunity: the
+// consuming fragment's group-by and the selection chain (outermost first)
+// between the group-by's child and the shipped node. The chain may be empty
+// (the edge feeds the group-by directly).
+type partialEdge struct {
+	g       *algebra.GroupBy
+	selects []*algebra.Select
+}
+
+// partialEdgeFor reports whether pre-shuffle partial aggregation applies to
+// the frontier input in of consumer fragment f: the knob is on and a
+// group-by of f reaches the shipped node through selections only. Filters
+// commute with the shuffle — the producer can evaluate the same compiled
+// predicates over rows it already holds — while any other operator
+// (join, decrypt, …) between the group-by and the edge disqualifies it.
+func (nw *Network) partialEdgeFor(f *fragment, in fragInput) *partialEdge {
+	if !nw.PartialShuffle {
+		return nil
+	}
+	switch in.consumerNode.(type) {
+	case *algebra.GroupBy, *algebra.Select:
+	default:
+		return nil // the chain would have to pass through the consuming node
+	}
+	frontier := make(map[algebra.Node]bool, len(f.inputs))
+	for _, x := range f.inputs {
+		frontier[x.node] = true
+	}
+	var found *partialEdge
+	var walk func(n algebra.Node)
+	walk = func(n algebra.Node) {
+		if found != nil || frontier[n] {
+			return // stop at other producers' subtrees
+		}
+		if g, ok := n.(*algebra.GroupBy); ok {
+			var sels []*algebra.Select
+			for cur := g.Child; ; {
+				if cur == in.node {
+					found = &partialEdge{g: g, selects: sels}
+					return
+				}
+				s, ok := cur.(*algebra.Select)
+				if !ok {
+					break
+				}
+				sels = append(sels, s)
+				cur = s.Child
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(f.root)
+	return found
 }
 
 // ExecuteStream runs the extended plan across the network with one worker
@@ -62,12 +124,18 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 	}
 	for _, f := range frags {
 		for _, in := range f.inputs {
-			edges[idx[in.from]] = streamEdge{to: f.subject, op: in.consumer}
+			edges[idx[in.from]] = streamEdge{
+				to: f.subject, op: in.consumer,
+				partial: nw.partialEdgeFor(f, in),
+			}
 		}
 	}
 
 	// Resolve subject executors up front, before any worker starts, so
-	// goroutines never touch the subject map.
+	// goroutines never touch the subject map. One memory accountant spans
+	// the whole run: every fragment's reservations draw on the same
+	// per-query budget, exactly as they would on one overloaded host.
+	runMem, runSpill := nw.runBudget()
 	clones := make([]*exec.Executor, len(frags))
 	for i, f := range frags {
 		c := nw.Subject(f.subject).Clone()
@@ -82,6 +150,9 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 		c.Workers = nw.Workers
 		c.MorselRows = nw.MorselRows
 		c.Trace = nw.Trace
+		c.Mem = runMem
+		c.Spill = runSpill
+		c.AdaptiveBatch = nw.AdaptiveBatch
 		c.Sources = make(map[algebra.Node]exec.Operator, len(f.inputs))
 		clones[i] = c
 	}
@@ -127,12 +198,43 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 			}
 
 			for _, in := range f.inputs {
+				if pe := nw.partialEdgeFor(f, in); pe != nil {
+					// The producer evaluates the selection chain and ships
+					// per-group partial aggregates for this edge, so the
+					// source splices in directly under the group-by (the
+					// filters already ran producer-side), carries the
+					// partial wire schema, and the group-by compiles in
+					// merge mode.
+					if ex.Partials == nil {
+						ex.Partials = make(map[*algebra.GroupBy]bool)
+					}
+					ex.Partials[pe.g] = true
+					ex.Sources[pe.g.Child] = pipeline.NewSource(
+						exec.ShufflePartialSchema(pe.g), outCh[idx[in.from]], done)
+					continue
+				}
 				ex.Sources[in.node] = pipeline.NewSource(in.node.Schema(), outCh[idx[in.from]], done)
 			}
 			op, err := ex.Build(f.root)
 			if err != nil {
 				emitErr(wrap(err))
 				return
+			}
+			if pe := edges[i].partial; pe != nil && !isRoot {
+				// Apply the absorbed consumer selections innermost first,
+				// then fold partials per group.
+				for k := len(pe.selects) - 1; k >= 0; k-- {
+					op, err = exec.NewShuffleSelect(ex, pe.selects[k], op)
+					if err != nil {
+						emitErr(wrap(err))
+						return
+					}
+				}
+				op, err = exec.NewShufflePartial(ex, pe.g, op)
+				if err != nil {
+					emitErr(wrap(err))
+					return
+				}
 			}
 			if isRoot {
 				rootSchema = op.Schema()

@@ -80,6 +80,26 @@ type Config struct {
 	// MorselRows overrides the fixed morsel length in rows (0 means
 	// exec.DefaultMorselRows).
 	MorselRows int
+	// MemBudget caps the bytes of live operator state (hash-join build
+	// sides, group-by tables) one query run may pin in memory across all
+	// its fragments. When a reservation against the budget fails, the
+	// operator partitions its state to disk (grace-hash spilling) and
+	// recurses over the partitions, trading I/O for a bounded footprint.
+	// 0 or negative disables the budget: queries hold everything resident.
+	MemBudget int64
+	// SpillDir is the directory spill runs are created under when MemBudget
+	// forces state to disk ("" means the OS temp directory).
+	SpillDir string
+	// PartialShuffle enables pre-shuffle partial aggregation: when a
+	// cross-subject edge feeds a group-by directly, the producing fragment
+	// folds COUNT/SUM/MIN/MAX/AVG partials per group before shipping and
+	// the consumer merges them, shrinking the transfer to one row per
+	// group. Results are identical; the ledger records the reduced bytes.
+	PartialShuffle bool
+	// AdaptiveBatch starts table scans at a small pipeline batch size and
+	// grows it geometrically toward BatchSize, so short-circuiting queries
+	// never pay for a full batch of downstream work.
+	AdaptiveBatch bool
 }
 
 const defaultCacheSize = 256
@@ -157,6 +177,69 @@ type preparedQuery struct {
 	// cardinality-informed re-optimization: a later planning pass can compare
 	// each node's algebra.Stats estimate against what execution actually saw.
 	observed atomic.Pointer[map[algebra.Node]int64]
+
+	// paillierPKs are the distinct Paillier public keys the plan encrypts
+	// under, collected at preparation. A cache hit means this exact plan is
+	// about to encrypt again, so it kicks a background refill of each key's
+	// randomizer pool: the expensive message-independent exponentiations run
+	// off the encryption path while the query executes.
+	paillierPKs []*crypto.Paillier
+	refilling   atomic.Bool
+	refillDone  atomic.Pointer[chan struct{}]
+}
+
+// refillRandomizerCount is how many pooled randomizers one cache hit tops
+// each of the plan's Paillier keys up by (the pool itself caps the total).
+const refillRandomizerCount = 256
+
+// refillRandomizers starts at most one background randomizer refill for the
+// plan's Paillier keys; a refill already in flight is left alone. The
+// channel stored in refillDone closes when the fill completes (tests and
+// shutdown hooks can wait on it; queries never do).
+func (pq *preparedQuery) refillRandomizers() {
+	if len(pq.paillierPKs) == 0 || !pq.refilling.CompareAndSwap(false, true) {
+		return
+	}
+	done := make(chan struct{})
+	pq.refillDone.Store(&done)
+	go func() {
+		defer close(done)
+		defer pq.refilling.Store(false)
+		for _, pk := range pq.paillierPKs {
+			_ = pk.PrecomputeRandomizers(refillRandomizerCount)
+		}
+	}()
+}
+
+// paillierKeysOf collects the distinct Paillier public keys the extended
+// plan's encryption nodes use, resolved against the full key store.
+func paillierKeysOf(root algebra.Node, keys *crypto.KeyStore) []*crypto.Paillier {
+	var pks []*crypto.Paillier
+	seen := make(map[*crypto.Paillier]struct{})
+	var walk func(n algebra.Node)
+	walk = func(n algebra.Node) {
+		if enc, ok := n.(*algebra.Encrypt); ok {
+			for _, a := range enc.Attrs {
+				if enc.Schemes[a] != algebra.SchemePaillier {
+					continue
+				}
+				ring, err := keys.Get(enc.KeyIDs[a])
+				if err != nil || ring.PK == nil {
+					continue
+				}
+				if _, dup := seen[ring.PK]; dup {
+					continue
+				}
+				seen[ring.PK] = struct{}{}
+				pks = append(pks, ring.PK)
+			}
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	return pks
 }
 
 // recordObserved stores the actual output cardinality of every extended-plan
@@ -260,6 +343,7 @@ func (e *Engine) query(query string, tr *obs.Trace) (*Response, *preparedQuery, 
 	}
 	if hit {
 		e.met.hits.Inc()
+		pq.refillRandomizers()
 	} else {
 		e.met.misses.Inc()
 	}
@@ -392,6 +476,10 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 	nw.ValueCrypto = e.cfg.ValueCrypto
 	nw.Workers = e.cfg.Workers
 	nw.MorselRows = e.cfg.MorselRows
+	nw.MemBudget = e.cfg.MemBudget
+	nw.SpillDir = e.cfg.SpillDir
+	nw.PartialShuffle = e.cfg.PartialShuffle
+	nw.AdaptiveBatch = e.cfg.AdaptiveBatch
 	for name, fn := range e.cfg.UDFs {
 		nw.UDFs[name] = fn
 	}
@@ -423,13 +511,14 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer)
 	sort.Slice(executors, func(i, j int) bool { return executors[i] < executors[j] })
 
 	return &preparedQuery{
-		version:   version,
-		plan:      plan,
-		result:    res,
-		network:   nw,
-		keys:      full,
-		consts:    consts,
-		executors: executors,
+		version:     version,
+		plan:        plan,
+		result:      res,
+		network:     nw,
+		keys:        full,
+		consts:      consts,
+		executors:   executors,
+		paillierPKs: paillierKeysOf(res.Extended.Root, full),
 	}, nil
 }
 

@@ -39,6 +39,7 @@ func (e *Engine) queryStream(query string, tr *obs.Trace, yield func(headers []s
 	}
 	if hit {
 		e.met.hits.Inc()
+		pq.refillRandomizers()
 	} else {
 		e.met.misses.Inc()
 	}

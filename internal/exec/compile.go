@@ -53,7 +53,9 @@ func (e *Executor) buildNode(n algebra.Node) (Operator, error) {
 		return op, nil
 	}
 	if t, ok := e.Materialized[n]; ok {
-		return newColScan(t, nil, e.batchSize()), nil
+		s := newColScan(t, nil, e.batchSize())
+		s.adaptive = e.AdaptiveBatch
+		return s, nil
 	}
 	if e.parWorkers() > 1 {
 		op, ok, err := e.buildParallel(n)
@@ -103,7 +105,9 @@ func (e *Executor) buildBase(b *algebra.Base) (Operator, error) {
 	if identityProjection(indices, len(t.Schema)) {
 		indices = nil
 	}
-	return newColScan(t, indices, e.batchSize()), nil
+	s := newColScan(t, indices, e.batchSize())
+	s.adaptive = e.AdaptiveBatch
+	return s, nil
 }
 
 func (e *Executor) buildProject(p *algebra.Project) (Operator, error) {
@@ -209,16 +213,43 @@ func (e *Executor) buildJoin(j *algebra.Join) (Operator, error) {
 		hashL: hashL, hashR: hashR,
 		residual: resPred, batch: e.batchSize(),
 		leftWidth: len(ls),
+		mem:       e.Mem, spillFac: e.Spill,
 	}, nil
 }
 
 func (e *Executor) buildGroupBy(g *algebra.GroupBy) (Operator, error) {
+	// Consumer side of a partial-aggregated shuffle edge: the input rows are
+	// ShufflePartialSchema partials (keys leading, then one (count, payload)
+	// column pair per aggregate), merged instead of folded.
+	if e.Partials[g] {
+		child, err := e.Build(g.Child)
+		if err != nil {
+			return nil, err
+		}
+		keyIdx := make([]int, len(g.Keys))
+		for i := range keyIdx {
+			keyIdx[i] = i
+		}
+		aggIdx := make([]int, len(g.Aggs))
+		for i := range aggIdx {
+			aggIdx[i] = len(g.Keys) + 2*i + 1
+		}
+		return &groupByOp{
+			child: child, e: e, schema: g.Schema(),
+			keyIdx: keyIdx, aggIdx: aggIdx, specs: g.Aggs,
+			batch: e.batchSize(), ring: e.ringCache(),
+			partialIn: true,
+		}, nil
+	}
 	// A group-by above a morsel-parallelizable chain aggregates per-morsel
 	// partial tables on the worker pool instead of draining a child stream
 	// sequentially; the merge in morsel order keeps results bit-identical.
+	// Under a memory budget the build stays sequential: one budgeted table
+	// that can freeze and spill, instead of per-worker tables racing the
+	// shared accountant.
 	var par *chain
 	var child Operator
-	if e.parWorkers() > 1 {
+	if e.parWorkers() > 1 && e.Mem == nil {
 		c, ok, err := e.planChain(g.Child)
 		if err != nil {
 			return nil, err

@@ -67,6 +67,29 @@ type Executor struct {
 	// DefaultMorselRows). Morsel boundaries depend only on this value and
 	// the table, never on Workers, so parallel results are deterministic.
 	MorselRows int
+	// Mem, when non-nil, is the per-query memory accountant pipeline
+	// breakers (group-by tables, hash-join build sides) reserve live state
+	// against. A failed reservation switches the operator to grace-hash
+	// spilling through Spill. The accountant is shared — not copied — by
+	// Clone, so one budget governs every fragment of a run. With a budget
+	// set, pipeline breakers run sequentially (morsel-parallel chains that
+	// only stream — scan/filter/project/crypto — still fan out).
+	Mem *MemAccountant
+	// Spill creates the on-disk partition runs out-of-core operators write.
+	// nil with a budget set is a configuration error surfaced at the first
+	// failed reservation.
+	Spill SpillFactory
+	// AdaptiveBatch starts table scans at a small batch and grows the
+	// window geometrically up to BatchSize: first rows reach the client
+	// after a fraction of a full batch's work, while steady-state
+	// throughput still amortizes per-batch overhead at full width.
+	AdaptiveBatch bool
+	// Partials marks group-by nodes whose input arrives as pre-aggregated
+	// partial rows from a producing fragment (pre-shuffle partial
+	// aggregation): Build compiles those group-bys in merge mode instead of
+	// raw-row mode. The streaming distributed runtime populates it on the
+	// consumer clone; it is per-run state, so Clone starts empty.
+	Partials map[*algebra.GroupBy]bool
 	// Trace, when non-nil, makes Build wrap every compiled operator in a
 	// per-Next accounting shim recording rows, batches, and wall time into
 	// one span per plan node. The wrapping decision happens at build time,
@@ -112,6 +135,9 @@ func (e *Executor) Clone() *Executor {
 		ValueCrypto:   e.ValueCrypto,
 		Workers:       e.Workers,
 		MorselRows:    e.MorselRows,
+		Mem:           e.Mem,
+		Spill:         e.Spill,
+		AdaptiveBatch: e.AdaptiveBatch,
 		Trace:         e.Trace,
 	}
 }

@@ -1,0 +1,65 @@
+package exec
+
+import (
+	"sync/atomic"
+)
+
+// MemAccountant tracks the memory reservations of one query run against a
+// fixed budget. Pipeline breakers (group-by tables, hash-join build sides)
+// reserve before growing live state and release when they emit or spill;
+// a failed reservation is the signal to switch to out-of-core execution,
+// not an error. One accountant is shared by every fragment executor of a
+// run, so the budget caps the query as a whole rather than per operator.
+type MemAccountant struct {
+	budget int64
+	used   atomic.Int64
+}
+
+// NewMemAccountant returns an accountant enforcing budget bytes. A zero or
+// negative budget means unlimited: Reserve always succeeds.
+func NewMemAccountant(budget int64) *MemAccountant {
+	return &MemAccountant{budget: budget}
+}
+
+// Reserve attempts to reserve n bytes, reporting whether the reservation
+// fit under the budget. A nil accountant or an unlimited budget always
+// grants. The caller owns a granted reservation until it calls Release.
+func (m *MemAccountant) Reserve(n int64) bool {
+	if m == nil || m.budget <= 0 {
+		return true
+	}
+	for {
+		cur := m.used.Load()
+		next := cur + n
+		if next > m.budget {
+			return false
+		}
+		if m.used.CompareAndSwap(cur, next) {
+			return true
+		}
+	}
+}
+
+// Release returns n previously reserved bytes to the budget.
+func (m *MemAccountant) Release(n int64) {
+	if m == nil || m.budget <= 0 {
+		return
+	}
+	m.used.Add(-n)
+}
+
+// Used returns the bytes currently reserved.
+func (m *MemAccountant) Used() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.used.Load()
+}
+
+// Budget returns the configured budget (0 = unlimited).
+func (m *MemAccountant) Budget() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.budget
+}

@@ -93,6 +93,7 @@ type productOp struct {
 	right  Operator
 	schema []algebra.Attr
 	batch  int
+	shared bool // rightRows pre-drained and injected; Open must not re-drain
 
 	rightRows [][]Value
 	curRows   [][]Value
@@ -105,11 +106,13 @@ func (p *productOp) Open() error {
 	if err := p.left.Open(); err != nil {
 		return err
 	}
-	t, err := Drain(p.right)
-	if err != nil {
-		return err
+	if !p.shared {
+		t, err := Drain(p.right)
+		if err != nil {
+			return err
+		}
+		p.rightRows = t.Rows
 	}
-	p.rightRows = t.Rows
 	p.curRows, p.li, p.ri = nil, 0, 0
 	return nil
 }
@@ -351,6 +354,15 @@ type hashJoinOp struct {
 	idx    *joinIndex
 	shared bool // idx was pre-built and injected; Open must not rebuild it
 
+	// Out-of-core state (grace-hash spilling). With mem set, the build side
+	// is indexed under reservation (idxReserved, returned at Close); if it
+	// does not fit, both sides co-partition to spill runs and grace drives
+	// the pair-by-pair partitioned join instead of the resident cursor.
+	mem         *MemAccountant
+	spillFac    SpillFactory
+	idxReserved int64
+	grace       *graceJoin
+
 	// Probe cursor: the current probe batch, the next probe row, and the
 	// unconsumed matches of the last keyed row.
 	cur        *Batch
@@ -379,20 +391,41 @@ func (j *hashJoinOp) Open() error {
 	if err := j.left.Open(); err != nil {
 		return err
 	}
+	j.grace = nil
 	if !j.shared {
-		idx, err := buildJoinIndex(j.right, j.hashR)
-		if err != nil {
-			return err
+		if j.mem != nil {
+			if err := j.openBudgeted(); err != nil {
+				return err
+			}
+		} else {
+			idx, err := buildJoinIndex(j.right, j.hashR)
+			if err != nil {
+				return err
+			}
+			j.idx = idx
 		}
-		j.idx = idx
 	}
 	j.cur, j.li, j.curMatches, j.matchIdx = nil, 0, nil, 0
 	return nil
 }
 
-func (j *hashJoinOp) Close() error { return j.left.Close() }
+func (j *hashJoinOp) Close() error {
+	if j.grace != nil {
+		j.grace.discard()
+		j.grace = nil
+	}
+	if j.mem != nil && j.idxReserved > 0 {
+		j.mem.Release(j.idxReserved)
+		j.idxReserved = 0
+		j.idx = nil
+	}
+	return j.left.Close()
+}
 
 func (j *hashJoinOp) Next() (*Batch, error) {
+	if j.grace != nil {
+		return j.grace.next()
+	}
 	for {
 		if j.cur == nil {
 			b, err := j.left.Next()
@@ -850,6 +883,26 @@ type groupTable struct {
 	dictID       *string
 	cipherDictID *[]byte
 	codeGroups   []*group
+
+	// Out-of-core state (grace-hash spilling). When mem is set, every new
+	// group reserves its estimated footprint; the first failed reservation
+	// freezes the resident group set — resident groups keep folding their
+	// rows in row order (bit-exact float accumulation) — and rows of unseen
+	// keys are hash-routed into spill partitions, re-aggregated recursively
+	// on read-back (emitGroups). level salts the partition hash so each
+	// recursion level re-partitions differently.
+	mem      *MemAccountant
+	spill    SpillFactory
+	level    int
+	reserved int64
+	frozen   bool
+	parts    []SpillRun
+	partSel  [][]int32
+
+	// mergePartials switches ingestion to pre-aggregated partial rows
+	// (pre-shuffle partial aggregation): keys in the leading columns, then
+	// one (count, payload) column pair per aggregate, folded in via absorb.
+	mergePartials bool
 }
 
 func newGroupTable(keyIdx, aggIdx []int, specs []algebra.AggSpec, gather bool, ring ringFn) *groupTable {
@@ -858,6 +911,15 @@ func newGroupTable(keyIdx, aggIdx []int, specs []algebra.AggSpec, gather bool, r
 		gather: gather, ring: ring,
 		groups: make(map[string]*group),
 	}
+}
+
+// ingest accumulates one batch under the table's mode: raw rows by default,
+// pre-aggregated partial rows under mergePartials.
+func (gt *groupTable) ingest(b *Batch) error {
+	if gt.mergePartials {
+		return gt.addPartialBatch(b)
+	}
+	return gt.addBatch(b)
 }
 
 // addBatch accumulates one batch, row by row in row order.
@@ -887,11 +949,15 @@ func (gt *groupTable) addBatch(b *Batch) error {
 		if err != nil {
 			return err
 		}
+		if grp == nil {
+			gt.route(ri)
+			continue
+		}
 		if err := gt.accumulate(grp, b, ri); err != nil {
 			return err
 		}
 	}
-	return nil
+	return gt.flushRouted(b)
 }
 
 // addBatchDict is addBatch for a single dict-encoded key column: each row
@@ -932,13 +998,22 @@ func (gt *groupTable) addBatchDict(b *Batch, col *Column, dictLen int) error {
 			if err != nil {
 				return err
 			}
-			gt.codeGroups[code] = grp
+			if grp != nil {
+				gt.codeGroups[code] = grp
+			}
+		}
+		if grp == nil {
+			// Frozen and unseen: gt.keyBuf still holds the row's canonical
+			// key (both the NULL and the unmemoized-code branches encode it;
+			// memoized codes always resolve to a resident group).
+			gt.route(ri)
+			continue
 		}
 		if err := gt.accumulate(grp, b, ri); err != nil {
 			return err
 		}
 	}
-	return nil
+	return gt.flushRouted(b)
 }
 
 // resetCodeGroups sizes the code→group memo for a new dictionary, reusing
@@ -955,20 +1030,39 @@ func (gt *groupTable) resetCodeGroups(n int) {
 }
 
 // groupFor returns the group registered under hk, creating it (key values
-// pinned from row ri) in first-seen order on first use.
+// pinned from row ri) in first-seen order on first use. Under a memory
+// budget, registering a new group first reserves its estimated footprint;
+// the first failed reservation freezes the resident set, after which unseen
+// keys return (nil, nil) — the caller's signal to spill the row.
 func (gt *groupTable) groupFor(hk string, b *Batch, ri int) (*group, error) {
 	grp, ok := gt.groups[hk]
-	if !ok {
-		grp = &group{keyVals: make([]Value, len(gt.keyIdx)), accs: make([]*groupAcc, len(gt.specs))}
-		for i, ix := range gt.keyIdx {
-			grp.keyVals[i] = b.Cols[ix].Value(ri)
-		}
-		for i, sp := range gt.specs {
-			grp.accs[i] = &groupAcc{fn: sp.Func}
-		}
-		gt.groups[hk] = grp
-		gt.order = append(gt.order, hk)
+	if ok {
+		return grp, nil
 	}
+	if gt.frozen {
+		return nil, nil
+	}
+	if gt.mem != nil {
+		cost := groupCost(len(hk), len(gt.keyIdx), len(gt.specs))
+		if !gt.mem.Reserve(cost) {
+			if gt.spill == nil {
+				return nil, fmt.Errorf("exec: memory budget exhausted (%d of %d bytes) and no spill factory configured",
+					gt.mem.Used(), gt.mem.Budget())
+			}
+			gt.freeze()
+			return nil, nil
+		}
+		gt.reserved += cost
+	}
+	grp = &group{keyVals: make([]Value, len(gt.keyIdx)), accs: make([]*groupAcc, len(gt.specs))}
+	for i, ix := range gt.keyIdx {
+		grp.keyVals[i] = b.Cols[ix].Value(ri)
+	}
+	for i, sp := range gt.specs {
+		grp.accs[i] = &groupAcc{fn: sp.Func}
+	}
+	gt.groups[hk] = grp
+	gt.order = append(gt.order, hk)
 	return grp, nil
 }
 
@@ -1030,6 +1124,11 @@ type groupByOp struct {
 	par    *chain    // morsel-parallel input chain (nil = sequential child)
 	sp     *obs.Span // traced runs: per-worker morsel claim accounting
 
+	// partialIn marks a consumer-side group-by whose input is a
+	// partial-aggregated shuffle edge (ShufflePartialSchema rows); the table
+	// then merges shipped partials instead of folding raw rows.
+	partialIn bool
+
 	built bool
 	out   [][]Value
 	pos   int
@@ -1061,28 +1160,33 @@ func (g *groupByOp) Close() error {
 // row-at-a-time oracle.
 func (g *groupByOp) build() error {
 	gt := newGroupTable(g.keyIdx, g.aggIdx, g.specs, false, g.ring)
+	gt.mergePartials = g.partialIn
 	if g.par != nil {
 		if err := g.buildParallel(gt); err != nil {
 			return err
 		}
 	} else {
+		if g.e != nil && g.e.Mem != nil {
+			gt.mem, gt.spill = g.e.Mem, g.e.Spill
+		}
 		for {
 			b, err := g.child.Next()
 			if err != nil {
+				gt.discard()
 				return err
 			}
 			if b == nil {
 				break
 			}
-			if err := gt.addBatch(b); err != nil {
+			if err := gt.ingest(b); err != nil {
+				gt.discard()
 				return err
 			}
 		}
 	}
 
 	g.out = make([][]Value, 0, len(gt.order))
-	for _, hk := range gt.order {
-		grp := gt.groups[hk]
+	return emitGroups(gt, func(grp *group) error {
 		row := make([]Value, 0, len(grp.keyVals)+len(g.specs))
 		row = append(row, grp.keyVals...)
 		for i := range g.specs {
@@ -1093,8 +1197,8 @@ func (g *groupByOp) build() error {
 			row = append(row, v)
 		}
 		g.out = append(g.out, row)
-	}
-	return nil
+		return nil
+	})
 }
 
 func (g *groupByOp) Next() (*Batch, error) {

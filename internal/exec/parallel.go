@@ -67,13 +67,15 @@ func (e *Executor) chainExecutor() *Executor {
 // operator keeps its own buffers and cursors.
 type chainStep func(child Operator) Operator
 
-// chainJoin carries one hash join of a chain: the compiled build side and
-// the index built from it at run start, shared read-only by the probe
-// operators of every worker.
+// chainJoin carries one join of a chain: the compiled build side and the
+// state built from it at run start, shared read-only by every worker. Hash
+// joins (hashR >= 0) build one index; nested-loop joins and products
+// (hashR < 0) drain the right side once into a shared row set.
 type chainJoin struct {
 	right Operator
-	hashR int
+	hashR int // right key column, or -1 for nested-loop/product
 	idx   *joinIndex
+	rows  [][]Value
 }
 
 // chain is a compiled morsel-parallelizable pipeline segment: the anchor
@@ -259,6 +261,11 @@ func (e *Executor) planChain(n algebra.Node) (*chain, bool, error) {
 		return c, true, nil
 
 	case *algebra.Join:
+		if e.Mem != nil {
+			// Under a memory budget the join build must be able to reserve
+			// and spill; the shared pre-built index path stays sequential.
+			return nil, false, nil
+		}
 		c, ok, err := e.planChain(x.L)
 		if !ok || err != nil {
 			return nil, false, err
@@ -284,8 +291,27 @@ func (e *Executor) planChain(n algebra.Node) (*chain, bool, error) {
 			}
 			residual = append(residual, cj)
 		}
+		batch := e.batchSize()
+		leftWidth := len(ls)
 		if hashL < 0 {
-			return nil, false, nil // nested-loop joins stay sequential
+			// Nested-loop join: every worker streams its morsels' product
+			// against the shared pre-drained right rows and filters by the
+			// full condition. Left order is preserved per morsel, so the
+			// morsel-order merge is row-identical to the sequential stream.
+			full, err := e.compileColPred(x.Cond, plainResolver(schema))
+			if err != nil {
+				return nil, false, err
+			}
+			cj := &chainJoin{right: right, hashR: -1}
+			c.joins = append(c.joins, cj)
+			c.steps = append(c.steps, func(child Operator) Operator {
+				prod := &productOp{left: child, schema: schema, batch: batch,
+					shared: true, rightRows: cj.rows}
+				return &filterOp{child: prod, pred: full}
+			})
+			c.schema = schema
+			c.work = true
+			return c, true, nil
 		}
 		var resPred predFn
 		if rp := algebra.And(residual...); rp != nil {
@@ -296,8 +322,6 @@ func (e *Executor) planChain(n algebra.Node) (*chain, bool, error) {
 		}
 		cj := &chainJoin{right: right, hashR: hashR}
 		c.joins = append(c.joins, cj)
-		batch := e.batchSize()
-		leftWidth := len(ls)
 		c.steps = append(c.steps, func(child Operator) Operator {
 			return &hashJoinOp{
 				left: child, schema: schema,
@@ -305,6 +329,30 @@ func (e *Executor) planChain(n algebra.Node) (*chain, bool, error) {
 				residual: resPred, batch: batch, leftWidth: leftWidth,
 				idx: cj.idx, shared: true,
 			}
+		})
+		c.schema = schema
+		c.work = true
+		return c, true, nil
+
+	case *algebra.Product:
+		if e.Mem != nil {
+			return nil, false, nil // products stay sequential under a budget
+		}
+		c, ok, err := e.planChain(x.L)
+		if !ok || err != nil {
+			return nil, false, err
+		}
+		right, err := e.Build(x.R)
+		if err != nil {
+			return nil, false, err
+		}
+		schema := append(append([]algebra.Attr{}, c.schema...), right.Schema()...)
+		cj := &chainJoin{right: right, hashR: -1}
+		c.joins = append(c.joins, cj)
+		batch := e.batchSize()
+		c.steps = append(c.steps, func(child Operator) Operator {
+			return &productOp{left: child, schema: schema, batch: batch,
+				shared: true, rightRows: cj.rows}
 		})
 		c.schema = schema
 		c.work = true
@@ -351,6 +399,14 @@ func (e *Executor) prepareChain(c *chain) (*chainRun, error) {
 		return nil, err
 	}
 	for _, cj := range c.joins {
+		if cj.hashR < 0 {
+			t, err := Drain(cj.right)
+			if err != nil {
+				return nil, err
+			}
+			cj.rows = t.Rows
+			continue
+		}
 		idx, err := buildJoinIndex(cj.right, cj.hashR)
 		if err != nil {
 			return nil, err
@@ -628,7 +684,8 @@ func (p *parallelOp) Close() error {
 // falls back to the sequential build.
 func (e *Executor) buildParallel(n algebra.Node) (Operator, bool, error) {
 	switch n.(type) {
-	case *algebra.Select, *algebra.Project, *algebra.UDF, *algebra.Encrypt, *algebra.Decrypt, *algebra.Join:
+	case *algebra.Select, *algebra.Project, *algebra.UDF, *algebra.Encrypt, *algebra.Decrypt,
+		*algebra.Join, *algebra.Product:
 	default:
 		return nil, false, nil // bare scans and pipeline breakers have their own paths
 	}

@@ -1,0 +1,768 @@
+// Package spill implements the on-disk batch run format out-of-core
+// execution partitions live state into: a compact column-vector encoding of
+// exec.Batch reusing every Column layout (including dictionary and
+// ciphertext columns), written through buffered CRC-framed appends and read
+// back batch by batch. A run is a temporary file; the exec package decides
+// *when* to spill (memory accountant), this package only decides *how* bytes
+// hit disk.
+//
+// File layout:
+//
+//	magic "MPQSPILL" | version byte | frame*
+//	frame = u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// Each payload is one batch: column count, row count, then each column as a
+// kind byte, an optional null bitmap, and the layout-specific vectors.
+// Dictionaries are written once per run on first appearance and referenced
+// by a run-local id afterwards; the reader reconstructs one shared slice per
+// id, so dictionary identity (and the per-dictionary caches keyed on it)
+// survives the round trip within a run.
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/big"
+	"os"
+	"time"
+
+	"mpq/internal/algebra"
+	"mpq/internal/exec"
+)
+
+var magic = []byte("MPQSPILL")
+
+const (
+	formatVersion = 1
+	// maxFrameBytes bounds a frame a reader will accept: a corrupted length
+	// word must not drive a multi-gigabyte allocation.
+	maxFrameBytes = 1 << 30
+)
+
+// Factory creates spill runs as temporary files under Dir (the system temp
+// directory when empty). It implements exec.SpillFactory.
+type Factory struct {
+	Dir string
+}
+
+// NewFactory returns a factory writing runs under dir.
+func NewFactory(dir string) *Factory { return &Factory{Dir: dir} }
+
+// NewRun creates an empty run file.
+func (f *Factory) NewRun() (exec.SpillRun, error) {
+	file, err := os.CreateTemp(f.Dir, "mpqspill-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("spill: create run: %w", err)
+	}
+	w := bufio.NewWriterSize(file, 1<<16)
+	if _, err := w.Write(magic); err != nil {
+		file.Close()
+		os.Remove(file.Name())
+		return nil, err
+	}
+	if err := w.WriteByte(formatVersion); err != nil {
+		file.Close()
+		os.Remove(file.Name())
+		return nil, err
+	}
+	return &run{file: file, w: w, dictIDs: map[*string]uint32{}, cdictIDs: map[*[]byte]uint32{}}, nil
+}
+
+// run is one append-then-replay spill partition.
+type run struct {
+	file     *os.File
+	w        *bufio.Writer
+	buf      []byte // payload scratch, reused across Append calls
+	dictIDs  map[*string]uint32
+	cdictIDs map[*[]byte]uint32
+	nextDict uint32
+	finished bool
+	released bool
+}
+
+// Append serializes b at the end of the run.
+func (r *run) Append(b *exec.Batch) error {
+	if r.finished || r.released {
+		return errors.New("spill: append to finished run")
+	}
+	start := time.Now()
+	payload, err := r.encodeBatch(r.buf[:0], b)
+	if err != nil {
+		return err
+	}
+	r.buf = payload[:0]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	if _, err := r.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := r.w.Write(payload); err != nil {
+		return err
+	}
+	exec.AddSpillWrite(len(hdr)+len(payload), time.Since(start).Seconds())
+	return nil
+}
+
+// Finish flushes buffered frames and seals the run for reading.
+func (r *run) Finish() error {
+	if r.released {
+		return errors.New("spill: finish on released run")
+	}
+	if r.finished {
+		return nil
+	}
+	if err := r.w.Flush(); err != nil {
+		return err
+	}
+	r.finished = true
+	return nil
+}
+
+// Open returns a reader replaying the run from the beginning.
+func (r *run) Open() (exec.SpillReader, error) {
+	if !r.finished {
+		return nil, errors.New("spill: open of unfinished run")
+	}
+	if r.released {
+		return nil, errors.New("spill: open of released run")
+	}
+	if _, err := r.file.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(r.file, 1<<16)
+	hdr := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("spill: short header: %w", err)
+	}
+	if string(hdr[:len(magic)]) != string(magic) {
+		return nil, errors.New("spill: bad magic")
+	}
+	if hdr[len(magic)] != formatVersion {
+		return nil, fmt.Errorf("spill: unsupported version %d", hdr[len(magic)])
+	}
+	return &reader{r: br, dicts: map[uint32][]string{}, cdicts: map[uint32][][]byte{}}, nil
+}
+
+// Release deletes the run's backing file. Safe on unfinished runs (error
+// paths) and idempotent.
+func (r *run) Release() error {
+	if r.released {
+		return nil
+	}
+	r.released = true
+	name := r.file.Name()
+	err := r.file.Close()
+	if rmErr := os.Remove(name); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+func appendBytes(buf []byte, b []byte) []byte {
+	buf = appendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func (r *run) encodeBatch(buf []byte, b *exec.Batch) ([]byte, error) {
+	buf = appendUvarint(buf, uint64(len(b.Cols)))
+	buf = appendUvarint(buf, uint64(b.N))
+	for ci := range b.Cols {
+		var err error
+		buf, err = r.encodeColumn(buf, &b.Cols[ci], b.N)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func (r *run) encodeColumn(buf []byte, c *exec.Column, n int) ([]byte, error) {
+	buf = append(buf, byte(c.Kind))
+	if c.Kind != exec.ColAny {
+		if c.Nulls != nil {
+			buf = append(buf, 1)
+			words := (n + 63) / 64
+			for i := 0; i < words; i++ {
+				var w uint64
+				if i < len(c.Nulls) {
+					w = c.Nulls[i]
+				}
+				buf = appendU64(buf, w)
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	switch c.Kind {
+	case exec.ColInt:
+		for i := 0; i < n; i++ {
+			buf = appendU64(buf, uint64(c.Ints[i]))
+		}
+	case exec.ColFloat:
+		for i := 0; i < n; i++ {
+			buf = appendU64(buf, math.Float64bits(c.Floats[i]))
+		}
+	case exec.ColStr:
+		for i := 0; i < n; i++ {
+			if c.IsNull(i) {
+				buf = appendUvarint(buf, 0)
+				continue
+			}
+			buf = appendString(buf, c.Strs[i])
+		}
+	case exec.ColCipherBytes:
+		buf = appendString(buf, string(c.Scheme))
+		buf = appendString(buf, c.KeyID)
+		for i := 0; i < n; i++ {
+			buf = append(buf, byte(c.Plains[i]))
+			buf = appendBytes(buf, c.Bytes[i])
+		}
+	case exec.ColDict:
+		buf = r.encodeDictRef(buf, exec.DictID(c.Dict), func(buf []byte) []byte {
+			buf = appendUvarint(buf, uint64(len(c.Dict)))
+			for _, s := range c.Dict {
+				buf = appendString(buf, s)
+			}
+			return buf
+		})
+		for i := 0; i < n; i++ {
+			buf = appendU32(buf, c.Codes[i])
+		}
+	case exec.ColCipherDict:
+		buf = r.encodeCipherDictRef(buf, c)
+		buf = appendString(buf, string(c.Scheme))
+		buf = appendString(buf, c.KeyID)
+		for i := 0; i < n; i++ {
+			buf = appendU32(buf, c.Codes[i])
+		}
+	case exec.ColAny:
+		for i := 0; i < n; i++ {
+			var err error
+			buf, err = encodeValue(buf, c.Vals[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("spill: unknown column kind %d", c.Kind)
+	}
+	return buf, nil
+}
+
+// encodeDictRef writes a run-local dictionary reference: the id, a flag for
+// whether the definition follows, and (first time only) the entries via def.
+func (r *run) encodeDictRef(buf []byte, id *string, def func([]byte) []byte) []byte {
+	if id == nil {
+		// Empty dictionary: inline definition every time (no identity to key
+		// on, and nothing to share).
+		buf = appendUvarint(buf, uint64(math.MaxUint32))
+		buf = append(buf, 1)
+		return def(buf)
+	}
+	if got, ok := r.dictIDs[id]; ok {
+		buf = appendUvarint(buf, uint64(got))
+		buf = append(buf, 0)
+		return buf
+	}
+	got := r.nextDict
+	r.nextDict++
+	r.dictIDs[id] = got
+	buf = appendUvarint(buf, uint64(got))
+	buf = append(buf, 1)
+	return def(buf)
+}
+
+func (r *run) encodeCipherDictRef(buf []byte, c *exec.Column) []byte {
+	id := exec.CipherDictID(c.CipherDict)
+	if id == nil {
+		buf = appendUvarint(buf, uint64(math.MaxUint32))
+		buf = append(buf, 1)
+		return encodeCipherDictDef(buf, c.CipherDict)
+	}
+	if got, ok := r.cdictIDs[id]; ok {
+		buf = appendUvarint(buf, uint64(got))
+		buf = append(buf, 0)
+		return buf
+	}
+	got := r.nextDict
+	r.nextDict++
+	r.cdictIDs[id] = got
+	buf = appendUvarint(buf, uint64(got))
+	buf = append(buf, 1)
+	return encodeCipherDictDef(buf, c.CipherDict)
+}
+
+func encodeCipherDictDef(buf []byte, dict [][]byte) []byte {
+	buf = appendUvarint(buf, uint64(len(dict)))
+	for _, e := range dict {
+		buf = appendBytes(buf, e)
+	}
+	return buf
+}
+
+// Value cipher representation tags.
+const (
+	cipherRepData = 0 // symmetric/OPE ciphertext bytes
+	cipherRepPhe  = 1 // Paillier group element (big-endian magnitude)
+)
+
+func encodeValue(buf []byte, v exec.Value) ([]byte, error) {
+	buf = append(buf, byte(v.Kind))
+	switch v.Kind {
+	case exec.KNull:
+	case exec.KInt:
+		buf = appendU64(buf, uint64(v.I))
+	case exec.KFloat:
+		buf = appendU64(buf, math.Float64bits(v.F))
+	case exec.KString:
+		buf = appendString(buf, v.S)
+	case exec.KCipher:
+		if v.C == nil {
+			return nil, errors.New("spill: cipher value with nil payload")
+		}
+		buf = appendString(buf, string(v.C.Scheme))
+		buf = appendString(buf, v.C.KeyID)
+		buf = append(buf, byte(v.C.Plain))
+		buf = appendUvarint(buf, uint64(v.C.Div))
+		if v.C.Phe != nil {
+			buf = append(buf, cipherRepPhe)
+			buf = appendBytes(buf, v.C.Phe.Bytes())
+		} else {
+			buf = append(buf, cipherRepData)
+			buf = appendBytes(buf, v.C.Data)
+		}
+	default:
+		return nil, fmt.Errorf("spill: unknown value kind %d", v.Kind)
+	}
+	return buf, nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+// reader replays a run. Dictionaries are reconstructed once per run-local id
+// and shared across the batches that reference them.
+type reader struct {
+	r      *bufio.Reader
+	frame  []byte
+	dicts  map[uint32][]string
+	cdicts map[uint32][][]byte
+}
+
+// Next returns the next batch, or (nil, nil) at end of run.
+func (rd *reader) Next() (*exec.Batch, error) {
+	start := time.Now()
+	var hdr [8]byte
+	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("spill: truncated frame header: %w", err)
+	}
+	size := binary.LittleEndian.Uint32(hdr[0:])
+	want := binary.LittleEndian.Uint32(hdr[4:])
+	if size > maxFrameBytes {
+		return nil, fmt.Errorf("spill: frame length %d exceeds limit (corrupt run?)", size)
+	}
+	if cap(rd.frame) < int(size) {
+		rd.frame = make([]byte, size)
+	}
+	payload := rd.frame[:size]
+	if _, err := io.ReadFull(rd.r, payload); err != nil {
+		return nil, fmt.Errorf("spill: truncated frame payload: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("spill: frame checksum mismatch (got %08x want %08x)", got, want)
+	}
+	b, err := rd.decodeBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	exec.AddSpillRead(len(hdr)+len(payload), time.Since(start).Seconds())
+	return b, nil
+}
+
+// Close releases reader resources (the run file stays until Release).
+func (rd *reader) Close() error { return nil }
+
+// dec is a bounds-checked cursor over one frame payload.
+type dec struct {
+	b   []byte
+	pos int
+}
+
+var errShort = errors.New("spill: frame payload shorter than encoded lengths (corrupt run?)")
+
+func (d *dec) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		return 0, errShort
+	}
+	d.pos += n
+	return v, nil
+}
+
+func (d *dec) length(limit int) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(limit) {
+		return 0, errShort
+	}
+	return int(v), nil
+}
+
+func (d *dec) byte() (byte, error) {
+	if d.pos >= len(d.b) {
+		return 0, errShort
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v, nil
+}
+
+func (d *dec) take(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.b) {
+		return nil, errShort
+	}
+	v := d.b[d.pos : d.pos+n]
+	d.pos += n
+	return v, nil
+}
+
+func (d *dec) u32() (uint32, error) {
+	v, err := d.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(v), nil
+}
+
+func (d *dec) u64() (uint64, error) {
+	v, err := d.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(v), nil
+}
+
+func (d *dec) bytes() ([]byte, error) {
+	n, err := d.length(len(d.b))
+	if err != nil {
+		return nil, err
+	}
+	return d.take(n)
+}
+
+func (d *dec) str() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+func (rd *reader) decodeBatch(payload []byte) (*exec.Batch, error) {
+	d := &dec{b: payload}
+	ncols, err := d.length(1 << 20)
+	if err != nil {
+		return nil, err
+	}
+	n64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n64 > maxFrameBytes {
+		return nil, errShort
+	}
+	n := int(n64)
+	b := &exec.Batch{Cols: make([]exec.Column, ncols), N: n}
+	for ci := 0; ci < ncols; ci++ {
+		if err := rd.decodeColumn(d, &b.Cols[ci], n); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func (rd *reader) decodeColumn(d *dec, c *exec.Column, n int) error {
+	kindByte, err := d.byte()
+	if err != nil {
+		return err
+	}
+	c.Kind = exec.ColKind(kindByte)
+	if c.Kind != exec.ColAny {
+		flag, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if flag == 1 {
+			words := (n + 63) / 64
+			c.Nulls = make([]uint64, words)
+			for i := 0; i < words; i++ {
+				if c.Nulls[i], err = d.u64(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	switch c.Kind {
+	case exec.ColInt:
+		c.Ints = make([]int64, n)
+		for i := 0; i < n; i++ {
+			v, err := d.u64()
+			if err != nil {
+				return err
+			}
+			c.Ints[i] = int64(v)
+		}
+	case exec.ColFloat:
+		c.Floats = make([]float64, n)
+		for i := 0; i < n; i++ {
+			v, err := d.u64()
+			if err != nil {
+				return err
+			}
+			c.Floats[i] = math.Float64frombits(v)
+		}
+	case exec.ColStr:
+		c.Strs = make([]string, n)
+		for i := 0; i < n; i++ {
+			if c.Strs[i], err = d.str(); err != nil {
+				return err
+			}
+		}
+	case exec.ColCipherBytes:
+		scheme, err := d.str()
+		if err != nil {
+			return err
+		}
+		c.Scheme = algebra.Scheme(scheme)
+		if c.KeyID, err = d.str(); err != nil {
+			return err
+		}
+		c.Bytes = make([][]byte, n)
+		c.Plains = make([]exec.Kind, n)
+		for i := 0; i < n; i++ {
+			p, err := d.byte()
+			if err != nil {
+				return err
+			}
+			c.Plains[i] = exec.Kind(p)
+			raw, err := d.bytes()
+			if err != nil {
+				return err
+			}
+			c.Bytes[i] = append([]byte(nil), raw...)
+		}
+	case exec.ColDict:
+		if c.Dict, err = rd.decodeDictRef(d); err != nil {
+			return err
+		}
+		if err := decodeCodes(d, c, n); err != nil {
+			return err
+		}
+	case exec.ColCipherDict:
+		if c.CipherDict, err = rd.decodeCipherDictRef(d); err != nil {
+			return err
+		}
+		scheme, err := d.str()
+		if err != nil {
+			return err
+		}
+		c.Scheme = algebra.Scheme(scheme)
+		if c.KeyID, err = d.str(); err != nil {
+			return err
+		}
+		if err := decodeCodes(d, c, n); err != nil {
+			return err
+		}
+	case exec.ColAny:
+		c.Vals = make([]exec.Value, n)
+		for i := 0; i < n; i++ {
+			if c.Vals[i], err = decodeValue(d); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("spill: unknown column kind %d", c.Kind)
+	}
+	return nil
+}
+
+func decodeCodes(d *dec, c *exec.Column, n int) error {
+	c.Codes = make([]uint32, n)
+	for i := 0; i < n; i++ {
+		v, err := d.u32()
+		if err != nil {
+			return err
+		}
+		c.Codes[i] = v
+	}
+	return nil
+}
+
+func (rd *reader) decodeDictRef(d *dec) ([]string, error) {
+	id64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	def, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	id := uint32(id64)
+	if def == 0 {
+		dict, ok := rd.dicts[id]
+		if !ok {
+			return nil, fmt.Errorf("spill: reference to undefined dictionary %d", id)
+		}
+		return dict, nil
+	}
+	nentries, err := d.length(len(d.b))
+	if err != nil {
+		return nil, err
+	}
+	dict := make([]string, nentries)
+	for i := range dict {
+		if dict[i], err = d.str(); err != nil {
+			return nil, err
+		}
+	}
+	if id != math.MaxUint32 {
+		rd.dicts[id] = dict
+	}
+	return dict, nil
+}
+
+func (rd *reader) decodeCipherDictRef(d *dec) ([][]byte, error) {
+	id64, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	def, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	id := uint32(id64)
+	if def == 0 {
+		dict, ok := rd.cdicts[id]
+		if !ok {
+			return nil, fmt.Errorf("spill: reference to undefined cipher dictionary %d", id)
+		}
+		return dict, nil
+	}
+	nentries, err := d.length(len(d.b))
+	if err != nil {
+		return nil, err
+	}
+	dict := make([][]byte, nentries)
+	for i := range dict {
+		raw, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		dict[i] = append([]byte(nil), raw...)
+	}
+	if id != math.MaxUint32 {
+		rd.cdicts[id] = dict
+	}
+	return dict, nil
+}
+
+func decodeValue(d *dec) (exec.Value, error) {
+	kindByte, err := d.byte()
+	if err != nil {
+		return exec.Value{}, err
+	}
+	switch exec.Kind(kindByte) {
+	case exec.KNull:
+		return exec.Null(), nil
+	case exec.KInt:
+		v, err := d.u64()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		return exec.Int(int64(v)), nil
+	case exec.KFloat:
+		v, err := d.u64()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		return exec.Float(math.Float64frombits(v)), nil
+	case exec.KString:
+		s, err := d.str()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		return exec.String(s), nil
+	case exec.KCipher:
+		c := &exec.Cipher{}
+		scheme, err := d.str()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		c.Scheme = algebra.Scheme(scheme)
+		if c.KeyID, err = d.str(); err != nil {
+			return exec.Value{}, err
+		}
+		p, err := d.byte()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		c.Plain = exec.Kind(p)
+		div, err := d.uvarint()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		c.Div = int64(div)
+		rep, err := d.byte()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		raw, err := d.bytes()
+		if err != nil {
+			return exec.Value{}, err
+		}
+		switch rep {
+		case cipherRepPhe:
+			c.Phe = new(big.Int).SetBytes(raw)
+		case cipherRepData:
+			c.Data = append([]byte(nil), raw...)
+		default:
+			return exec.Value{}, fmt.Errorf("spill: unknown cipher representation %d", rep)
+		}
+		return exec.Enc(c), nil
+	}
+	return exec.Value{}, fmt.Errorf("spill: unknown value kind %d", kindByte)
+}

@@ -1,0 +1,348 @@
+package spill
+
+import (
+	"math/big"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mpq/internal/algebra"
+	"mpq/internal/exec"
+)
+
+// cellEq compares two cell values structurally, including cipher payloads
+// (Paillier group elements compare as big integers, symmetric ciphertexts as
+// raw bytes).
+func cellEq(a, b exec.Value) bool {
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case exec.KNull:
+		return true
+	case exec.KInt:
+		return a.I == b.I
+	case exec.KFloat:
+		return a.F == b.F
+	case exec.KString:
+		return a.S == b.S
+	case exec.KCipher:
+		ca, cb := a.C, b.C
+		if (ca == nil) != (cb == nil) {
+			return false
+		}
+		if ca == nil {
+			return true
+		}
+		if ca.Scheme != cb.Scheme || ca.KeyID != cb.KeyID || ca.Plain != cb.Plain || ca.Div != cb.Div {
+			return false
+		}
+		if (ca.Phe == nil) != (cb.Phe == nil) {
+			return false
+		}
+		if ca.Phe != nil {
+			return ca.Phe.Cmp(cb.Phe) == 0
+		}
+		return string(ca.Data) == string(cb.Data)
+	}
+	return false
+}
+
+// roundTrip appends batches to a fresh run, reads them back, and diffs every
+// cell. The run is released before returning; the factory dir must be empty
+// afterwards (the orphan guard in TestRunFilesReleased checks).
+func roundTrip(t *testing.T, dir string, batches []*exec.Batch) {
+	t.Helper()
+	f := NewFactory(dir)
+	run, err := f.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Release()
+	for _, b := range batches {
+		if err := run.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	for bi, want := range batches {
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		if got == nil {
+			t.Fatalf("batch %d: run ended early", bi)
+		}
+		if got.N != want.N || len(got.Cols) != len(want.Cols) {
+			t.Fatalf("batch %d: shape %dx%d, want %dx%d", bi, got.N, len(got.Cols), want.N, len(want.Cols))
+		}
+		for ci := range want.Cols {
+			if got.Cols[ci].Kind != want.Cols[ci].Kind {
+				t.Fatalf("batch %d col %d: kind %d, want %d", bi, ci, got.Cols[ci].Kind, want.Cols[ci].Kind)
+			}
+			for ri := 0; ri < want.N; ri++ {
+				g, w := got.Cols[ci].Value(ri), want.Cols[ci].Value(ri)
+				if !cellEq(g, w) {
+					t.Fatalf("batch %d col %d row %d: %v, want %v", bi, ci, ri, g, w)
+				}
+			}
+		}
+	}
+	if extra, err := rd.Next(); err != nil || extra != nil {
+		t.Fatalf("after last batch: (%v, %v), want (nil, nil)", extra, err)
+	}
+}
+
+// nullable marks the given rows NULL in a typed column's bitmap.
+func nullable(c exec.Column, rows ...int) exec.Column {
+	words := 1
+	for _, r := range rows {
+		if r/64+1 > words {
+			words = r/64 + 1
+		}
+	}
+	c.Nulls = make([]uint64, words)
+	for _, r := range rows {
+		c.Nulls[r/64] |= 1 << (r % 64)
+	}
+	return c
+}
+
+// TestRoundTripEveryLayout spills one batch per column layout — with and
+// without NULLs — and proves every cell survives the round trip.
+func TestRoundTripEveryLayout(t *testing.T) {
+	dict := []string{"AIR", "RAIL", "SHIP"}
+	cdict := [][]byte{{0xde, 0xad}, {0xbe, 0xef}}
+	phe := exec.Value{Kind: exec.KCipher, C: &exec.Cipher{
+		Scheme: algebra.SchemePaillier, KeyID: "k2", Plain: exec.KInt, Div: 100,
+		Phe: new(big.Int).SetInt64(123456789),
+	}}
+	sym := exec.Value{Kind: exec.KCipher, C: &exec.Cipher{
+		Scheme: algebra.SchemeDeterministic, KeyID: "k1", Plain: exec.KString,
+		Data: []byte{1, 2, 3, 4},
+	}}
+
+	cases := map[string]exec.Column{
+		"int":        {Kind: exec.ColInt, Ints: []int64{-1, 0, 1 << 40}},
+		"int-nulls":  nullable(exec.Column{Kind: exec.ColInt, Ints: []int64{7, 0, 9}}, 1),
+		"float":      {Kind: exec.ColFloat, Floats: []float64{-0.5, 0, 3.25}},
+		"str":        {Kind: exec.ColStr, Strs: []string{"", "a", "long string value"}},
+		"str-nulls":  nullable(exec.Column{Kind: exec.ColStr, Strs: []string{"x", "", "z"}}, 1),
+		"dict":       {Kind: exec.ColDict, Dict: dict, Codes: []uint32{2, 0, 1}},
+		"dict-nulls": nullable(exec.Column{Kind: exec.ColDict, Dict: dict, Codes: []uint32{2, ^uint32(0), 1}}, 1),
+		"cipherbytes": {Kind: exec.ColCipherBytes, Scheme: algebra.SchemeRandom, KeyID: "k1",
+			Bytes:  [][]byte{{9, 8}, {7}, {6, 5, 4}},
+			Plains: []exec.Kind{exec.KString, exec.KInt, exec.KString}},
+		"cipherdict": {Kind: exec.ColCipherDict, Scheme: algebra.SchemeDeterministic, KeyID: "k1",
+			CipherDict: cdict, Codes: []uint32{1, 0, 1}},
+		"any": {Kind: exec.ColAny, Vals: []exec.Value{exec.Null(), phe, sym}},
+	}
+	for name, col := range cases {
+		col := col
+		t.Run(name, func(t *testing.T) {
+			roundTrip(t, t.TempDir(), []*exec.Batch{{Cols: []exec.Column{col}, N: 3}})
+		})
+	}
+}
+
+// TestRoundTripSharedDictionaries appends several batches referencing the
+// same dictionary: the definition must be written once and the reader must
+// hand every batch one shared reconstructed slice.
+func TestRoundTripSharedDictionaries(t *testing.T) {
+	dict := []string{"alpha", "beta"}
+	mk := func(codes ...uint32) *exec.Batch {
+		return &exec.Batch{N: len(codes), Cols: []exec.Column{
+			{Kind: exec.ColDict, Dict: dict, Codes: codes},
+		}}
+	}
+	f := NewFactory(t.TempDir())
+	run, err := f.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Release()
+	for _, b := range []*exec.Batch{mk(0, 1), mk(1, 1, 0), mk(0)} {
+		if err := run.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := run.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	var first []string
+	for bi := 0; ; bi++ {
+		b, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		got := b.Cols[0].Dict
+		if first == nil {
+			first = got
+		} else if &first[0] != &got[0] {
+			t.Fatalf("batch %d: dictionary not shared across the run", bi)
+		}
+	}
+	if first == nil {
+		t.Fatal("no batches read back")
+	}
+}
+
+// corruptAt flips one byte of the single run file under dir.
+func corruptAt(t *testing.T, dir string, offset int64) {
+	t.Helper()
+	name := runFile(t, dir)
+	f, err := os.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, offset); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xff
+	if _, err := f.WriteAt(buf, offset); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "mpqspill-*.run"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one run file, got %v (%v)", matches, err)
+	}
+	return matches[0]
+}
+
+// TestCorruptedRunDetected flips a payload byte of a finished run and
+// truncates another copy mid-frame: the reader must fail loudly on both, not
+// return wrong rows.
+func TestCorruptedRunDetected(t *testing.T) {
+	build := func(dir string) exec.SpillRun {
+		f := NewFactory(dir)
+		run, err := f.NewRun()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := &exec.Batch{N: 4, Cols: []exec.Column{
+			{Kind: exec.ColInt, Ints: []int64{1, 2, 3, 4}},
+			{Kind: exec.ColStr, Strs: []string{"a", "b", "c", "d"}},
+		}}
+		if err := run.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := run.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return run
+	}
+
+	t.Run("flipped-byte", func(t *testing.T) {
+		dir := t.TempDir()
+		run := build(dir)
+		defer run.Release()
+		// magic(8) + version(1) + frame header(8) puts 17 at the first
+		// payload byte.
+		corruptAt(t, dir, 20)
+		rd, err := run.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rd.Close()
+		if _, err := rd.Next(); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("corrupted payload read back: err=%v", err)
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		dir := t.TempDir()
+		run := build(dir)
+		defer run.Release()
+		name := runFile(t, dir)
+		info, err := os.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(name, info.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := run.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rd.Close()
+		if _, err := rd.Next(); err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncated run read back: err=%v", err)
+		}
+	})
+}
+
+// TestRunFilesReleased proves Release removes the backing file in every life
+// cycle state — unfinished, finished, and mid-read — so no spill files
+// outlive their run.
+func TestRunFilesReleased(t *testing.T) {
+	dir := t.TempDir()
+	f := NewFactory(dir)
+	b := &exec.Batch{N: 1, Cols: []exec.Column{{Kind: exec.ColInt, Ints: []int64{42}}}}
+
+	unfinished, err := f.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := unfinished.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := unfinished.Release(); err != nil {
+		t.Fatal(err)
+	}
+
+	finished, err := f.NewRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := finished.Append(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := finished.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := finished.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err != nil {
+		t.Fatal(err)
+	}
+	rd.Close()
+	if err := finished.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := finished.Release(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	left, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("orphaned spill files left behind: %v", left)
+	}
+}

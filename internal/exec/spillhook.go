@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"math"
+	"sync/atomic"
+
+	"mpq/internal/obs"
+)
+
+// SpillFactory creates spill runs: append-only on-disk batch sequences that
+// pipeline breakers partition live state into when a memory reservation
+// fails. The concrete implementation lives in internal/exec/spill (exec
+// cannot import it without a cycle); executors that have no factory attached
+// simply never spill.
+type SpillFactory interface {
+	// NewRun creates an empty spill run backed by temporary storage.
+	NewRun() (SpillRun, error)
+}
+
+// SpillRun is one partition's worth of spilled batches. The life cycle is
+// Append* → Finish → Open → (read) → Release; Release must also be safe on
+// an unfinished run so error paths can discard partial state.
+type SpillRun interface {
+	// Append serializes b at the end of the run.
+	Append(b *Batch) error
+	// Finish flushes buffered frames and seals the run for reading.
+	Finish() error
+	// Open returns a reader replaying the run's batches in append order.
+	Open() (SpillReader, error)
+	// Release deletes the run's backing storage.
+	Release() error
+}
+
+// SpillReader replays a finished spill run batch by batch.
+type SpillReader interface {
+	// Next returns the next batch, or (nil, nil) at end of run.
+	Next() (*Batch, error)
+	// Close releases reader resources (not the run itself).
+	Close() error
+}
+
+// ---------------------------------------------------------------------------
+// Spill statistics. Process-global like the dictionary stats: the engine
+// metrics registry bridges them at scrape time, and tests snapshot/diff them.
+
+// SpillPhaseBuckets are the histogram bounds the per-phase spill timings are
+// bucketed under; they match obs.DurationBuckets so the engine can expose
+// them through the standard duration histogram rendering.
+var SpillPhaseBuckets = obs.DurationBuckets
+
+// SpillStats is a snapshot of the process-wide spill counters.
+type SpillStats struct {
+	BytesWritten uint64 // serialized bytes appended to spill runs
+	BytesRead    uint64 // serialized bytes read back from spill runs
+	Partitions   uint64 // spill partitions created (first write to a run)
+	Spills       uint64 // pipeline breakers that crossed their budget
+}
+
+// spillPhase accumulates a fixed-bucket duration histogram without a
+// registry: one atomic counter per bucket plus CAS-updated float sum.
+type spillPhase struct {
+	counts  [16]atomic.Uint64 // len(SpillPhaseBuckets)+1 <= 16
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func (p *spillPhase) observe(seconds float64) {
+	i := 0
+	for i < len(SpillPhaseBuckets) && seconds > SpillPhaseBuckets[i] {
+		i++
+	}
+	p.counts[i].Add(1)
+	p.count.Add(1)
+	for {
+		cur := p.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(cur) + seconds)
+		if p.sumBits.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+func (p *spillPhase) snapshot() obs.HistogramSnapshot {
+	s := obs.HistogramSnapshot{Counts: make([]uint64, len(SpillPhaseBuckets)+1)}
+	for i := range s.Counts {
+		s.Counts[i] = p.counts[i].Load()
+	}
+	s.Count = p.count.Load()
+	s.Sum = math.Float64frombits(p.sumBits.Load())
+	return s
+}
+
+var spillStats struct {
+	bytesWritten atomic.Uint64
+	bytesRead    atomic.Uint64
+	partitions   atomic.Uint64
+	spills       atomic.Uint64
+	write        spillPhase
+	read         spillPhase
+}
+
+// AddSpillWrite records a serialized frame of n bytes written to a spill run
+// in seconds of wall time. Called by the spill package.
+func AddSpillWrite(n int, seconds float64) {
+	spillStats.bytesWritten.Add(uint64(n))
+	spillStats.write.observe(seconds)
+}
+
+// AddSpillRead records a frame of n bytes read back from a spill run.
+func AddSpillRead(n int, seconds float64) {
+	spillStats.bytesRead.Add(uint64(n))
+	spillStats.read.observe(seconds)
+}
+
+func addSpillPartition() { spillStats.partitions.Add(1) }
+func addSpillEvent()     { spillStats.spills.Add(1) }
+
+// ReadSpillStats returns a snapshot of the process-wide spill counters.
+func ReadSpillStats() SpillStats {
+	return SpillStats{
+		BytesWritten: spillStats.bytesWritten.Load(),
+		BytesRead:    spillStats.bytesRead.Load(),
+		Partitions:   spillStats.partitions.Load(),
+		Spills:       spillStats.spills.Load(),
+	}
+}
+
+// ReadSpillPhase returns the accumulated duration histogram for the given
+// spill phase ("write" or "read"), bucketed under SpillPhaseBuckets.
+func ReadSpillPhase(phase string) obs.HistogramSnapshot {
+	if phase == "read" {
+		return spillStats.read.snapshot()
+	}
+	return spillStats.write.snapshot()
+}
