@@ -62,6 +62,7 @@ func main() {
 		spillDir   = flag.String("spilldir", "", "directory for spill runs (default: the OS temp dir)")
 		partial    = flag.Bool("partial", false, "fold pre-shuffle partial aggregates at producing subjects")
 		adaptive   = flag.Bool("adaptive", false, "adaptive scan batch sizing (grow from small first batches)")
+		plannerMod = flag.String("planner", "", "planner mode: cost (default), greedy, or adaptive (greedy + re-optimization of cached plans from observed cardinalities)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 	cfg.SpillDir = *spillDir
 	cfg.PartialShuffle = *partial
 	cfg.AdaptiveBatch = *adaptive
+	cfg.PlannerMode = *plannerMod
 	if *rtt > 0 {
 		cfg.LinkDelay = &distsim.LinkDelay{RTT: *rtt, BytesPerSec: *mbps * 1e6}
 	}

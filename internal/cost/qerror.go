@@ -1,0 +1,56 @@
+package cost
+
+import "mpq/internal/algebra"
+
+// QError is the standard multiplicative estimation-error factor between an
+// estimated and an observed cardinality: max(est/actual, actual/est), with
+// both sides floored at one row so empty results do not divide by zero. It
+// is always >= 1; 1 means the estimate was exact.
+func QError(est, actual float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if actual < 1 {
+		actual = 1
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}
+
+// NodeEstimates returns the estimated output cardinality of every node of a
+// plan, keyed by node identity — the planner-side half of an est-vs-actual
+// comparison against a traced run's observed cardinalities.
+func NodeEstimates(root algebra.Node) map[algebra.Node]float64 {
+	out := make(map[algebra.Node]float64)
+	algebra.PostOrder(root, func(n algebra.Node) {
+		out[n] = n.Stats().Rows
+	})
+	return out
+}
+
+// PlanQError compares a plan's per-node cardinality estimates against the
+// observed cardinalities of a traced run and returns the worst per-node
+// q-error plus how many nodes were compared. Nodes the trace did not cover
+// are skipped, as are nodes where both the estimate and the observation fall
+// below minRows: a 100x error on three rows is noise, not a reason to
+// re-plan.
+func PlanQError(root algebra.Node, observed map[algebra.Node]int64, minRows float64) (worst float64, compared int) {
+	worst = 1
+	algebra.PostOrder(root, func(n algebra.Node) {
+		v, ok := observed[n]
+		if !ok {
+			return
+		}
+		est, actual := n.Stats().Rows, float64(v)
+		if est < minRows && actual < minRows {
+			return
+		}
+		compared++
+		if q := QError(est, actual); q > worst {
+			worst = q
+		}
+	})
+	return worst, compared
+}

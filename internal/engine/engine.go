@@ -100,7 +100,31 @@ type Config struct {
 	// grows it geometrically toward BatchSize, so short-circuiting queries
 	// never pay for a full batch of downstream work.
 	AdaptiveBatch bool
+	// PlannerMode selects the join-ordering strategy: PlannerCost
+	// (default) plans left-deep in FROM order with textbook selectivity
+	// estimation; PlannerGreedy orders joins greedily from predicate
+	// patterns without trusting statistics; PlannerAdaptive plans greedily
+	// and additionally re-optimizes cached plans whose estimates diverge
+	// from observed cardinalities (see ReplanErrorFactor).
+	PlannerMode string
+	// ReplanErrorFactor is the q-error threshold of adaptive mode: a
+	// cache hit whose worst per-node estimate-vs-observed factor exceeds
+	// it is re-planned with the observed cardinalities injected as
+	// estimator overrides. 0 means the default (4); negative disables
+	// re-planning while keeping greedy planning.
+	ReplanErrorFactor float64
+	// ReplanMinRows ignores nodes where both the estimate and the
+	// observation fall below it when computing the re-plan trigger
+	// (small absolute misestimates are noise). 0 means the default (64).
+	ReplanMinRows float64
 }
+
+// Planner modes for Config.PlannerMode.
+const (
+	PlannerCost     = "cost"
+	PlannerGreedy   = "greedy"
+	PlannerAdaptive = "adaptive"
+)
 
 const defaultCacheSize = 256
 
@@ -138,6 +162,12 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: config needs the querying user")
 	case len(cfg.Subjects) == 0:
 		return nil, fmt.Errorf("engine: config needs candidate subjects")
+	}
+	switch cfg.PlannerMode {
+	case "", PlannerCost, PlannerGreedy, PlannerAdaptive:
+	default:
+		return nil, fmt.Errorf("engine: unknown planner mode %q (want %s, %s, or %s)",
+			cfg.PlannerMode, PlannerCost, PlannerGreedy, PlannerAdaptive)
 	}
 	if cfg.PaillierBits == 0 {
 		cfg.PaillierBits = crypto.DefaultPaillierBits
@@ -177,6 +207,15 @@ type preparedQuery struct {
 	// cardinality-informed re-optimization: a later planning pass can compare
 	// each node's algebra.Stats estimate against what execution actually saw.
 	observed atomic.Pointer[map[algebra.Node]int64]
+
+	// replanGen counts how many times this cache slot has been
+	// re-optimized with observed cardinalities; it is carried forward on
+	// every swap and capped (maxReplanGen) so oscillating estimates can
+	// never ping-pong the cache. replanning serializes re-plans of one
+	// entry: concurrent hits on a diverged plan elect a single re-planner
+	// and everyone else keeps executing the current plan.
+	replanGen  int
+	replanning atomic.Bool
 
 	// paillierPKs are the distinct Paillier public keys the plan encrypts
 	// under, collected at preparation. A cache hit means this exact plan is
@@ -341,6 +380,13 @@ func (e *Engine) query(query string, tr *obs.Trace) (*Response, *preparedQuery, 
 		e.met.errors.Inc()
 		return nil, nil, err
 	}
+	if tr == nil && e.adaptive() && pq.observedRows() == nil {
+		// Adaptive mode self-seeds its feedback: the first run of every
+		// prepared plan executes traced so the observed cardinalities
+		// exist by the first cache hit, without requiring callers to use
+		// Explain or ?trace=1.
+		tr = obs.NewTrace()
+	}
 	if hit {
 		e.met.hits.Inc()
 		pq.refillRandomizers()
@@ -412,10 +458,10 @@ func (e *Engine) admit(stmt *sql.SelectStmt, fp string) (*preparedQuery, bool, e
 		version := e.policy.Version()
 		if pq := e.cache.get(fp, version); pq != nil {
 			e.mu.RUnlock()
-			return pq, true, nil
+			return e.maybeReplan(stmt, fp, pq), true, nil
 		}
 		if attempt >= maxOptimisticPrepares {
-			pq, err := e.prepare(stmt, version, e.policy)
+			pq, err := e.prepare(stmt, version, e.policy, e.planOpts(nil))
 			if err == nil {
 				e.cache.put(fp, pq)
 			}
@@ -425,7 +471,7 @@ func (e *Engine) admit(stmt *sql.SelectStmt, fp string) (*preparedQuery, bool, e
 		snap := e.policy.Clone()
 		e.mu.RUnlock()
 
-		pq, err := e.prepare(stmt, version, snap)
+		pq, err := e.prepare(stmt, version, snap, e.planOpts(nil))
 
 		e.mu.RLock()
 		current := e.policy.Version()
@@ -445,12 +491,12 @@ func (e *Engine) admit(stmt *sql.SelectStmt, fp string) (*preparedQuery, bool, e
 // prepare runs the full paper pipeline for one parsed statement against pol
 // (a consistent snapshot of — or, under the read lock, the live —
 // authorization state at the given version).
-func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer) (*preparedQuery, error) {
+func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer, opts planner.PlanOptions) (*preparedQuery, error) {
 	sys := core.NewSystem(pol, e.cfg.Subjects...)
 	sys.Caps = e.sys.Caps
 	sys.Types = e.sys.Types
 	planStart := time.Now()
-	plan, err := e.planner.Plan(stmt)
+	plan, err := e.planner.PlanWith(stmt, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -584,6 +630,7 @@ type Stats struct {
 	CacheMisses   uint64 `json:"cache_misses"`
 	Errors        uint64 `json:"errors"`
 	Invalidations uint64 `json:"invalidations"`
+	Replans       uint64 `json:"replans"`
 	Transfers     uint64 `json:"transfers"`
 	BytesShipped  uint64 `json:"bytes_shipped"`
 	CachedPlans   int    `json:"cached_plans"`
@@ -600,6 +647,7 @@ func (e *Engine) Stats() Stats {
 		CacheMisses:   e.met.misses.Value(),
 		Errors:        e.met.errors.Value(),
 		Invalidations: e.met.invalidations.Value(),
+		Replans:       e.met.replans.Value(),
 		Transfers:     e.met.transfers.Value(),
 		BytesShipped:  e.met.bytesShipped.Value(),
 		CachedPlans:   e.cache.len(),

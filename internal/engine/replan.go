@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"time"
+
+	"mpq/internal/cost"
+	"mpq/internal/planner"
+	"mpq/internal/sql"
+)
+
+// Adaptive re-planning defaults: the q-error factor beyond which a cached
+// plan's estimates count as wrong, the node size below which misestimates
+// are ignored, and the per-cache-slot cap on re-optimizations (oscillating
+// estimates must converge or stop, never ping-pong the cache).
+const (
+	defaultReplanErrorFactor = 4.0
+	defaultReplanMinRows     = 64.0
+	maxReplanGen             = 4
+)
+
+// adaptive reports whether the engine re-optimizes cached plans from
+// observed cardinalities.
+func (e *Engine) adaptive() bool { return e.cfg.PlannerMode == PlannerAdaptive }
+
+// planOpts translates the engine's planner mode into per-call planner
+// options, attaching observed-cardinality overrides when re-planning.
+func (e *Engine) planOpts(ov *planner.Overrides) planner.PlanOptions {
+	mode := planner.ModeCost
+	if e.cfg.PlannerMode == PlannerGreedy || e.cfg.PlannerMode == PlannerAdaptive {
+		mode = planner.ModeGreedy
+	}
+	return planner.PlanOptions{Mode: mode, Overrides: ov}
+}
+
+func (e *Engine) replanErrorFactor() float64 {
+	if e.cfg.ReplanErrorFactor != 0 {
+		return e.cfg.ReplanErrorFactor
+	}
+	return defaultReplanErrorFactor
+}
+
+func (e *Engine) replanMinRows() float64 {
+	if e.cfg.ReplanMinRows > 0 {
+		return e.cfg.ReplanMinRows
+	}
+	return defaultReplanMinRows
+}
+
+// maybeReplan closes the feedback loop on a cache hit: when the entry's
+// observed per-node cardinalities (from its last traced run) diverge from
+// the plan's estimates by more than the configured q-error factor, the query
+// is re-planned with the observations injected as estimator overrides and
+// the cache slot is atomically swapped.
+//
+// The swap respects the same admission rules as cold preparation: the
+// re-plan runs against a policy snapshot taken at the entry's own version,
+// and the new entry is published only while holding the read lock with the
+// version still current — Grant/Revoke need the write lock to bump the
+// version and flush, so a re-planned entry can never outlive (or dodge) an
+// authorization change. A version moving mid-re-plan simply discards the
+// work and keeps serving the current, still-valid entry.
+func (e *Engine) maybeReplan(stmt *sql.SelectStmt, fp string, pq *preparedQuery) *preparedQuery {
+	if !e.adaptive() || e.cfg.ReplanErrorFactor < 0 || pq.replanGen >= maxReplanGen {
+		return pq
+	}
+	observed := pq.observedRows()
+	if observed == nil {
+		return pq
+	}
+	worst, compared := cost.PlanQError(pq.result.Extended.Root, observed, e.replanMinRows())
+	if compared == 0 || worst <= e.replanErrorFactor() {
+		return pq
+	}
+	if !pq.replanning.CompareAndSwap(false, true) {
+		return pq // another hit is already re-planning this entry
+	}
+	defer pq.replanning.Store(false)
+
+	start := time.Now()
+	ov := planner.OverridesFromObserved(pq.result.Extended.Root, observed)
+
+	e.mu.RLock()
+	if e.policy.Version() != pq.version {
+		e.mu.RUnlock()
+		return pq // the entry is already stale; admit will re-prepare
+	}
+	snap := e.policy.Clone()
+	e.mu.RUnlock()
+
+	npq, err := e.prepare(stmt, pq.version, snap, e.planOpts(ov))
+	if err != nil {
+		return pq // keep serving the working plan
+	}
+	npq.replanGen = pq.replanGen + 1
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.policy.Version() != pq.version {
+		return pq // authorization changed mid-re-plan: discard
+	}
+	e.cache.put(fp, npq)
+	e.met.replans.Inc()
+	e.met.observe(e.met.phaseReplan, start)
+	return npq
+}

@@ -37,6 +37,10 @@ func (e *Engine) queryStream(query string, tr *obs.Trace, yield func(headers []s
 		e.met.errors.Inc()
 		return nil, err
 	}
+	if tr == nil && e.adaptive() && pq.observedRows() == nil {
+		// Adaptive mode self-seeds its feedback (see Engine.query).
+		tr = obs.NewTrace()
+	}
 	if hit {
 		e.met.hits.Inc()
 		pq.refillRandomizers()

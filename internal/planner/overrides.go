@@ -1,0 +1,124 @@
+package planner
+
+import (
+	"sort"
+	"strings"
+
+	"mpq/internal/algebra"
+)
+
+// Overrides carries cardinalities observed during execution back into a
+// planning pass, closing the feedback loop: instead of trusting catalog
+// statistics, the estimator prefers what a traced run of the same query
+// actually measured. Keys are canonical renderings (see PredKey and
+// GroupKey) so the same logical predicate matches across different join
+// orders and conjunct groupings.
+type Overrides struct {
+	// BaseRows maps a relation name to its observed scan cardinality; it
+	// is applied as a catalog view (algebra.Catalog.WithRowOverrides).
+	BaseRows map[string]float64
+	// Sel maps a canonical predicate key to its observed selectivity in
+	// (0, 1]. Conjunctions fall back to the product of their conjuncts'
+	// overrides when the whole-set key is absent.
+	Sel map[string]float64
+	// Groups maps a canonical group-key rendering to the observed number
+	// of groups.
+	Groups map[string]float64
+}
+
+// NewOverrides returns an empty override set.
+func NewOverrides() *Overrides {
+	return &Overrides{
+		BaseRows: make(map[string]float64),
+		Sel:      make(map[string]float64),
+		Groups:   make(map[string]float64),
+	}
+}
+
+// Empty reports whether the override set carries no information.
+func (o *Overrides) Empty() bool {
+	return o == nil || (len(o.BaseRows) == 0 && len(o.Sel) == 0 && len(o.Groups) == 0)
+}
+
+// PredKey canonically identifies a predicate by its top-level conjuncts,
+// insensitive to conjunct order: the same set of conditions keys the same
+// selectivity no matter where the planner placed them.
+func PredKey(p algebra.Pred) string {
+	cs := algebra.Conjuncts(p)
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " & ")
+}
+
+// GroupKey canonically identifies a grouping by its key attributes,
+// insensitive to key order.
+func GroupKey(keys []algebra.Attr) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// OverridesFromObserved derives an override set from the per-node output
+// cardinalities of a traced run of root (an extended plan): base-relation
+// row counts directly, selection and join selectivities as observed
+// output/input ratios, and group counts directly. Nodes the trace did not
+// cover are skipped; encryption, decryption, and projection wrappers are
+// looked through when resolving a child's cardinality, since they preserve
+// it.
+func OverridesFromObserved(root algebra.Node, observed map[algebra.Node]int64) *Overrides {
+	ov := NewOverrides()
+	direct := func(n algebra.Node) (float64, bool) {
+		v, ok := observed[n]
+		return float64(v), ok
+	}
+	// through resolves a node's cardinality, descending through
+	// cardinality-preserving unary wrappers until a traced node is found.
+	through := func(n algebra.Node) (float64, bool) {
+		for {
+			if v, ok := direct(n); ok {
+				return v, true
+			}
+			switch n.(type) {
+			case *algebra.Encrypt, *algebra.Decrypt, *algebra.Project:
+				n = n.Children()[0]
+			default:
+				return 0, false
+			}
+		}
+	}
+	algebra.PostOrder(root, func(n algebra.Node) {
+		switch x := n.(type) {
+		case *algebra.Base:
+			if r, ok := direct(n); ok {
+				ov.BaseRows[x.Name] = r
+			}
+		case *algebra.Select:
+			self, ok := direct(n)
+			child, okc := through(x.Child)
+			if ok && okc && child > 0 {
+				ov.Sel[PredKey(x.Pred)] = clamp(self / child)
+			}
+		case *algebra.Join:
+			self, ok := direct(n)
+			l, okl := through(x.L)
+			r, okr := through(x.R)
+			if ok && okl && okr && l*r > 0 {
+				ov.Sel[PredKey(x.Cond)] = clamp(self / (l * r))
+			}
+		case *algebra.GroupBy:
+			if g, ok := direct(n); ok && len(x.Keys) > 0 {
+				if g < 1 {
+					g = 1
+				}
+				ov.Groups[GroupKey(x.Keys)] = g
+			}
+		}
+	})
+	return ov
+}

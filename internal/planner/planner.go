@@ -67,10 +67,10 @@ type binding struct {
 	inOrder []*algebra.Relation
 }
 
-func (p *Planner) bind(stmt *sql.SelectStmt) (*binding, error) {
-	b := &binding{cat: p.Catalog, byRef: make(map[string]*algebra.Relation)}
+func bindStmt(cat *algebra.Catalog, stmt *sql.SelectStmt) (*binding, error) {
+	b := &binding{cat: cat, byRef: make(map[string]*algebra.Relation)}
 	add := func(tr sql.TableRef) error {
-		rel := p.Catalog.Relation(tr.Name)
+		rel := cat.Relation(tr.Name)
 		if rel == nil {
 			return fmt.Errorf("planner: unknown relation %q", tr.Name)
 		}
@@ -166,13 +166,26 @@ func (b *binding) toPred(e sql.Expr) (algebra.Pred, error) {
 	return nil, fmt.Errorf("planner: unsupported expression %T", e)
 }
 
-// Plan builds the algebra plan for a parsed statement.
+// Plan builds the algebra plan for a parsed statement using the default
+// cost-based strategy (ModeCost, no overrides).
 func (p *Planner) Plan(stmt *sql.SelectStmt) (*Plan, error) {
-	b, err := p.bind(stmt)
+	return p.PlanWith(stmt, PlanOptions{})
+}
+
+// PlanWith builds the algebra plan for a parsed statement under explicit
+// planning options: the join-ordering mode and, optionally, observed
+// cardinality overrides feeding the estimator.
+func (p *Planner) PlanWith(stmt *sql.SelectStmt, opts PlanOptions) (*Plan, error) {
+	greedy := opts.Mode == ModeGreedy
+	cat := p.Catalog
+	if opts.Overrides != nil && len(opts.Overrides.BaseRows) > 0 {
+		cat = cat.WithRowOverrides(opts.Overrides.BaseRows)
+	}
+	b, err := bindStmt(cat, stmt)
 	if err != nil {
 		return nil, err
 	}
-	est := newEstimator(p.Catalog)
+	est := newEstimator(cat, opts.Overrides)
 
 	// Resolve all predicate sources.
 	where, err := b.toPred(stmt.Where)
@@ -316,10 +329,7 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (*Plan, error) {
 	// conjuncts, and residual conjuncts.
 	var relConj = make(map[string][]algebra.Pred)
 	var joinConj, residual []algebra.Pred
-	for _, c := range algebra.Conjuncts(where) {
-		if aggRefs(c) {
-			return nil, fmt.Errorf("planner: aggregate in WHERE clause")
-		}
+	classify := func(c algebra.Pred) {
 		rels := relationsOf(c)
 		switch {
 		case len(rels) == 1 && isPushable(c):
@@ -330,6 +340,27 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (*Plan, error) {
 			joinConj = append(joinConj, c)
 		default:
 			residual = append(residual, c)
+		}
+	}
+	for _, c := range algebra.Conjuncts(where) {
+		if aggRefs(c) {
+			return nil, fmt.Errorf("planner: aggregate in WHERE clause")
+		}
+		classify(c)
+	}
+	if greedy {
+		// Greedy ordering detaches ON conditions from their FROM
+		// positions: their conjuncts join the shared pools (pushable
+		// ones reach the scans, join conjuncts attach at whichever join
+		// first makes them evaluable) so the order is free to deviate
+		// from the statement. Inner-join semantics make this
+		// equivalence-preserving: every conjunct is still applied
+		// exactly once, at or above the point its attributes meet.
+		for i, on := range joinOn {
+			for _, c := range algebra.Conjuncts(on) {
+				classify(c)
+			}
+			joinOn[i] = nil
 		}
 	}
 
@@ -354,12 +385,18 @@ func (p *Planner) Plan(stmt *sql.SelectStmt) (*Plan, error) {
 		scans[rel.Name] = n
 	}
 
-	// Left-deep join tree in FROM order.
-	cur := scans[b.inOrder[0].Name]
+	// Left-deep join tree: FROM order under ModeCost, greedy
+	// pattern-based order under ModeGreedy.
+	order := b.inOrder
+	if greedy {
+		order = greedyOrder(b.inOrder, scans, relConj, joinConj,
+			!opts.Overrides.Empty(), est)
+	}
+	cur := scans[order[0].Name]
 	joined := algebra.NewAttrSet(cur.Schema()...)
 	pendingJoin := append([]algebra.Pred{}, joinConj...)
-	for i := 1; i < len(b.inOrder); i++ {
-		rel := b.inOrder[i]
+	for i := 1; i < len(order); i++ {
+		rel := order[i]
 		right := scans[rel.Name]
 		available := joined.Union(algebra.NewAttrSet(right.Schema()...))
 		var conds []algebra.Pred
