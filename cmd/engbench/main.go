@@ -112,11 +112,28 @@ type report struct {
 	// throughput over the full 22-query mix per scenario × planner mode,
 	// with the number of adaptive re-plans observed during the window.
 	PlannerRuns []plannerRunCell `json:"planner_runs,omitempty"`
+	// Admission is the -concurrency overload sweep: q/s and rejection rate
+	// vs offered load with admission control capping in-flight queries.
+	Admission []admissionCell `json:"admission,omitempty"`
 	// StringDistinct maps "table.column" to the distinct-value ratio of
 	// every string column in the generated data — the statistic the
 	// dictionary promotion policy gates on (columns at or below the policy's
 	// MaxRatio execute on codes).
 	StringDistinct map[string]float64 `json:"string_distinct_ratio,omitempty"`
+}
+
+// admissionCell is one point of the -concurrency overload sweep: offered
+// closed-loop clients vs the engine's in-flight cap, with completed
+// throughput and the share of submissions the admission gate shed
+// (ErrOverloaded / ErrQueueTimeout) instead of queueing unboundedly.
+type admissionCell struct {
+	Offered       int     `json:"offered_clients"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	MaxQueue      int     `json:"max_queue"`
+	Completed     uint64  `json:"completed"`
+	Rejected      uint64  `json:"rejected"`
+	QPS           float64 `json:"qps"`
+	RejectRate    float64 `json:"reject_rate"`
 }
 
 type interiorCell struct {
@@ -167,6 +184,7 @@ func main() {
 		budgetsF = flag.String("membudget", "", "comma-separated per-query memory budgets in bytes to sweep: each adds a batch-cached-mb<N> cell executing under that budget with grace-hash spilling to disk")
 		partialF = flag.Bool("partial", false, "also measure pre-shuffle partial aggregation (batch-cached-partial cell; compare bytes_per_query against batch-cached)")
 		adaptive = flag.Bool("adaptive", false, "also measure adaptive batch sizing (batch-cached-adaptive cell, plus batch-stream-adaptive with -stream)")
+		concF    = flag.Int("concurrency", 0, "overload sweep: cap the engine at this many in-flight queries (queue the same, 100ms wait) and offer 1x/2x/4x closed-loop clients, recording q/s and rejection rate per offered load (0 = off)")
 		rtt      = flag.Duration("rtt", 40*time.Millisecond, "simulated inter-subject link RTT (0 disables)")
 		mbps     = flag.Float64("mbps", 50, "simulated link bandwidth in MB/s (with -rtt > 0)")
 		out      = flag.String("out", "", "write the JSON report to this file (default stdout)")
@@ -389,6 +407,9 @@ func main() {
 		}
 	}
 
+	if *concF > 0 {
+		rep.Admission = measureAdmission(*scenario, *sf, *seed, *paillier, *cworkers, *batch, *duration, delay, *concF, sqls)
+	}
 	if *interior {
 		rep.Interior = measureInterior(*sf, *seed, queryNums, *duration, workerCounts)
 	}
@@ -447,6 +468,82 @@ func stringDistinctRatios(sf float64, seed int64) map[string]float64 {
 				out[name+"."+attr.Name] = float64(len(distinct)) / float64(len(tbl.Rows))
 			}
 		}
+	}
+	return out
+}
+
+// measureAdmission drives the overload sweep: one engine capped at maxConc
+// in-flight queries (wait queue of the same depth, 100ms wait), offered
+// 1x/2x/4x the cap in closed-loop clients. Sheds — ErrOverloaded and
+// ErrQueueTimeout — are counted, any other failure is fatal: under overload
+// the engine must reject cleanly, never hang, crash, or queue unboundedly.
+func measureAdmission(sc string, sf float64, seed int64, paillierBits, cworkers, batch int, window time.Duration, delay *distsim.LinkDelay, maxConc int, sqls []string) []admissionCell {
+	cfg := engine.TPCHConfig(tpch.Scenario(sc), sf, seed)
+	cfg.PaillierBits = paillierBits
+	cfg.CryptoWorkers = cworkers
+	cfg.BatchSize = batch
+	cfg.LinkDelay = delay
+	cfg.MaxConcurrent = maxConc
+	cfg.MaxQueue = maxConc
+	cfg.QueueWait = 100 * time.Millisecond
+	eng, err := engine.New(cfg)
+	if err != nil {
+		log.Fatalf("engbench: admission: %v", err)
+	}
+	for _, s := range sqls { // warm the plan cache outside the contention window
+		if _, err := eng.Query(s); err != nil {
+			log.Fatalf("engbench: admission warmup: %v", err)
+		}
+	}
+	var out []admissionCell
+	for _, mult := range []int{1, 2, 4} {
+		offered := maxConc * mult
+		var done atomic.Bool
+		var completed, rejected atomic.Uint64
+		var wg sync.WaitGroup
+		start := time.Now()
+		for c := 0; c < offered; c++ {
+			wg.Add(1)
+			go func(offset int) {
+				defer wg.Done()
+				for i := offset; !done.Load(); i++ {
+					_, err := eng.Query(sqls[i%len(sqls)])
+					switch {
+					case err == nil:
+						completed.Add(1)
+					case engine.ClassifyErr(err) == engine.KindOverloaded,
+						engine.ClassifyErr(err) == engine.KindQueueTimeout:
+						rejected.Add(1)
+						// Back off like a retrying client would; without
+						// this the shed path is a hot spin loop and the
+						// rejection count measures loop speed, not load.
+						time.Sleep(5 * time.Millisecond)
+					default:
+						log.Fatalf("engbench: admission: %v", err)
+					}
+				}
+			}(c)
+		}
+		time.Sleep(window)
+		done.Store(true)
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		cell := admissionCell{
+			Offered:       offered,
+			MaxConcurrent: maxConc,
+			MaxQueue:      maxConc,
+			Completed:     completed.Load(),
+			Rejected:      rejected.Load(),
+		}
+		if elapsed > 0 {
+			cell.QPS = float64(cell.Completed) / elapsed
+		}
+		if total := cell.Completed + cell.Rejected; total > 0 {
+			cell.RejectRate = float64(cell.Rejected) / float64(total)
+		}
+		out = append(out, cell)
+		log.Printf("admission offered=%d cap=%d  %7.2f q/s  %5.1f%% rejected (%d/%d)",
+			offered, maxConc, cell.QPS, cell.RejectRate*100, cell.Rejected, cell.Completed+cell.Rejected)
 	}
 	return out
 }

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +33,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mpq/internal/authz"
@@ -64,6 +67,11 @@ func main() {
 		adaptive   = flag.Bool("adaptive", false, "adaptive scan batch sizing (grow from small first batches)")
 		plannerMod = flag.String("planner", "", "planner mode: cost (default), greedy, or adaptive (greedy + re-optimization of cached plans from observed cardinalities)")
 		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+		timeout    = flag.Duration("timeout", 0, "default per-query deadline; ?timeout= overrides per request (0 = none)")
+		maxConc    = flag.Int("max-concurrent", 0, "in-flight query cap; overloads get 429/503 instead of queueing unboundedly (0 = unlimited)")
+		maxQueue   = flag.Int("max-queue", 0, "admission wait-queue length beyond the in-flight cap (with -max-concurrent)")
+		queueWait  = flag.Duration("queue-wait", 0, "how long a capped query may wait for a slot before 503 (0 = default)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain timeout for in-flight queries on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -88,6 +96,10 @@ func main() {
 	cfg.PartialShuffle = *partial
 	cfg.AdaptiveBatch = *adaptive
 	cfg.PlannerMode = *plannerMod
+	cfg.QueryTimeout = *timeout
+	cfg.MaxConcurrent = *maxConc
+	cfg.MaxQueue = *maxQueue
+	cfg.QueueWait = *queueWait
 	if *rtt > 0 {
 		cfg.LinkDelay = &distsim.LinkDelay{RTT: *rtt, BytesPerSec: *mbps * 1e6}
 	}
@@ -111,8 +123,74 @@ func main() {
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("mpqd: serving on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	// Graceful shutdown: SIGTERM/SIGINT stops accepting connections and
+	// drains in-flight queries for up to -drain; queries still running when
+	// the drain expires are cancelled through their request contexts.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("mpqd: serving on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("mpqd: shutting down, draining in-flight queries (up to %s)", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("mpqd: drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("mpqd: drained cleanly")
+	}
+}
+
+// statusCanceled is the non-standard 499 nginx popularized for
+// client-closed-request: the caller disconnected, so nobody sees the code,
+// but logs and metrics distinguish it from server faults.
+const statusCanceled = 499
+
+// statusFor maps a query error to its HTTP status via the engine's
+// classification: overload sheds with 429, queue timeouts with 503,
+// deadlines with 504, client cancellations with 499, recovered panics with
+// 500, and everything else stays 422 (the query itself was bad).
+func statusFor(err error) int {
+	switch engine.ClassifyErr(err) {
+	case engine.KindOverloaded:
+		return http.StatusTooManyRequests
+	case engine.KindQueueTimeout:
+		return http.StatusServiceUnavailable
+	case engine.KindTimeout:
+		return http.StatusGatewayTimeout
+	case engine.KindCanceled:
+		return statusCanceled
+	case engine.KindPanic:
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// queryContext derives the per-request execution context: the request
+// context cancels the run the moment the client disconnects, and an
+// optional ?timeout= caps it (overriding the engine's default deadline).
+// The returned cancel must always be called.
+func queryContext(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	ctx := r.Context()
+	if s := r.URL.Query().Get("timeout"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			writeError(w, http.StatusBadRequest, "bad timeout: want a positive Go duration like 500ms or 10s")
+			return nil, nil, false
+		}
+		ctx, cancel := context.WithTimeout(ctx, d)
+		return ctx, cancel, true
+	}
+	return ctx, func() {}, true
 }
 
 type server struct {
@@ -178,13 +256,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ex   *engine.Explanation
 		err  error
 	)
+	ctx, cancel, ok := queryContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
 	if r.URL.Query().Get("trace") == "1" {
-		resp, ex, err = s.eng.QueryTraced(req.SQL)
+		resp, ex, err = s.eng.QueryTracedCtx(ctx, req.SQL)
 	} else {
-		resp, err = s.eng.Query(req.SQL)
+		resp, err = s.eng.QueryCtx(ctx, req.SQL)
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, statusFor(err), err.Error())
 		return
 	}
 	rows := make([][]string, len(resp.Table.Rows))
@@ -225,9 +308,14 @@ func (s *server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing sql")
 		return
 	}
-	ex, err := s.eng.Explain(req.SQL)
+	ctx, cancel, ok := queryContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	ex, err := s.eng.ExplainCtx(ctx, req.SQL)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		writeError(w, statusFor(err), err.Error())
 		return
 	}
 	if r.URL.Query().Get("format") == "text" {
@@ -274,7 +362,12 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
-	resp, err := s.eng.QueryStream(req.SQL, func(headers []string, rows [][]exec.Value) error {
+	ctx, cancel, ok := queryContext(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	resp, err := s.eng.QueryStreamCtx(ctx, req.SQL, func(headers []string, rows [][]exec.Value) error {
 		if !started {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			started = true
@@ -294,9 +387,12 @@ func (s *server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	})
 	if err != nil {
 		if !started {
-			writeError(w, http.StatusUnprocessableEntity, err.Error())
+			writeError(w, statusFor(err), err.Error())
 			return
 		}
+		// Mid-stream failure: the status line already went out, so the
+		// error travels as the final NDJSON line. A disconnected client
+		// (cancellation) gets neither, which is fine — nobody is reading.
 		line(map[string]string{"error": err.Error()})
 		return
 	}

@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -106,6 +107,10 @@ type Network struct {
 	// actually paid. Set it on the per-run Clone, never on a shared
 	// long-lived network.
 	Trace *obs.Trace
+	// Faults, when set, arms the fault-injection harness: per-edge points
+	// fired by exchange producers and per-operator points handed to every
+	// fragment executor. Chaos/test only; nil in production.
+	Faults *Faults
 	// Transfers is the ledger of inter-subject shipments, in completion
 	// order. ledgerMu guards appends from concurrent fragment workers;
 	// reading the ledger is safe once execution has completed.
@@ -176,6 +181,7 @@ func (nw *Network) Clone() *Network {
 		PartialShuffle: nw.PartialShuffle,
 		AdaptiveBatch:  nw.AdaptiveBatch,
 		Trace:          nw.Trace,
+		Faults:         nw.Faults,
 	}
 	for s, e := range nw.subjects {
 		ce := e.Clone()
@@ -191,15 +197,19 @@ func (nw *Network) Clone() *Network {
 	return c
 }
 
-// runBudget creates the per-run memory accountant and spill factory of one
-// execution (nil, nil when no budget is set). One accountant is shared by
-// every fragment executor of the run, so the budget caps the run's total
-// live breaker state, not each operator's.
-func (nw *Network) runBudget() (*exec.MemAccountant, exec.SpillFactory) {
+// runResources creates the per-run memory accountant and spill factory of
+// one execution (nil, nil when no budget is set). One accountant is shared
+// by every fragment executor of the run, so the budget caps the run's total
+// live breaker state, not each operator's. The spill factory is tracked: the
+// returned sweep (never nil) deletes every run a panic or cancellation
+// abandoned mid-build; call it only after all goroutines of the run have
+// stopped.
+func (nw *Network) runResources() (*exec.MemAccountant, exec.SpillFactory, func()) {
 	if nw.MemBudget <= 0 {
-		return nil, nil
+		return nil, nil, func() {}
 	}
-	return exec.NewMemAccountant(nw.MemBudget), spill.NewFactory(nw.SpillDir)
+	tf := exec.NewTrackedSpillFactory(spill.NewFactory(nw.SpillDir))
+	return exec.NewMemAccountant(nw.MemBudget), tf, func() { tf.Sweep() }
 }
 
 // record appends a transfer to the ledger, safely from concurrent workers.
@@ -260,11 +270,41 @@ func extExecutor(ext *core.ExtendedPlan) func(algebra.Node) authz.Subject {
 // different subject are shipped (and recorded in the ledger). consts holds
 // the dispatched encrypted predicate constants.
 func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, error) {
+	return nw.ExecuteCtx(nil, ext, consts)
+}
+
+// ExecuteCtx is Execute under a context: cancellation is probed before every
+// node evaluation and at every batch boundary inside the subject executors,
+// a panic anywhere in evaluation is caught and returned as an
+// *exec.PanicError, and spill runs abandoned on the abort path are swept.
+// A nil context behaves exactly like Execute.
+func (nw *Network) ExecuteCtx(ctx context.Context, ext *core.ExtendedPlan, consts exec.ConstCache) (_ *exec.Table, err error) {
 	executor := extExecutor(ext)
 	results := make(map[algebra.Node]*exec.Table)
-	runMem, runSpill := nw.runBudget()
+	runMem, runSpill, sweep := nw.runResources()
+	defer sweep()
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.NewPanicError("sequential execution", r)
+		}
+	}()
+	runCtx := ctx
+	if ctx != nil && ctx.Done() == nil {
+		runCtx = nil // context.Background etc: keep the zero-cost path
+	}
+	var faultOps *exec.FaultPoints
+	if nw.Faults != nil {
+		faultOps = nw.Faults.Ops
+	}
 	var evaluate func(n algebra.Node) error
 	evaluate = func(n algebra.Node) error {
+		if runCtx != nil {
+			select {
+			case <-runCtx.Done():
+				return context.Cause(runCtx)
+			default:
+			}
+		}
 		subj := executor(n)
 		ex := nw.Subject(subj)
 		ex.Consts = consts
@@ -278,6 +318,8 @@ func (nw *Network) Execute(ext *core.ExtendedPlan, consts exec.ConstCache) (*exe
 		ex.Spill = runSpill
 		ex.AdaptiveBatch = nw.AdaptiveBatch
 		ex.Trace = nw.Trace
+		ex.Ctx = runCtx
+		ex.Faults = faultOps
 		for name, fn := range nw.UDFs {
 			ex.UDFs[name] = fn
 		}

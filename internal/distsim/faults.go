@@ -1,0 +1,65 @@
+package distsim
+
+import (
+	"sync"
+
+	"mpq/internal/authz"
+	"mpq/internal/exec"
+)
+
+// Faults is the distributed half of the fault-injection harness: per-edge
+// fault points firing in the producer of a cross-fragment exchange (just
+// before each batch is handed to the link), plus the operator-level points
+// (exec.FaultPoints) handed to every fragment executor. It is a chaos/test
+// knob — production networks leave it nil and no injection code runs.
+//
+// Edge keys are "From→To" subject pairs, with "From→*", "*→To", and "*"
+// wildcards (matched in that order). A panic injected at an edge point
+// fires on the fragment goroutine, so it exercises exactly the
+// fragment-boundary recover the harness exists to prove.
+type Faults struct {
+	// Seed makes probabilistic draws reproducible (shared by edge points
+	// when Ops is nil; otherwise Ops.Seed governs operator points).
+	Seed int64
+	// Edges maps edge keys to fault specs.
+	Edges map[string]exec.FaultSpec
+	// Ops arms the per-operator points of every fragment executor.
+	Ops *exec.FaultPoints
+
+	rngOnce sync.Once
+	rng     *exec.FaultPoints
+}
+
+// EdgeKey renders the canonical edge key of a producer→consumer pair.
+func EdgeKey(from, to authz.Subject) string {
+	return string(from) + "→" + string(to)
+}
+
+// edgeSpec resolves the armed spec for one edge, most specific key first.
+func (f *Faults) edgeSpec(from, to authz.Subject) (exec.FaultSpec, bool) {
+	if f == nil || len(f.Edges) == 0 {
+		return exec.FaultSpec{}, false
+	}
+	for _, k := range []string{
+		EdgeKey(from, to),
+		string(from) + "→*",
+		"*→" + string(to),
+		"*",
+	} {
+		if s, ok := f.Edges[k]; ok {
+			return s, true
+		}
+	}
+	return exec.FaultSpec{}, false
+}
+
+// points returns the FaultPoints carrying the seeded generator edge points
+// draw probabilistic samples from: Ops when set, else a lazily created
+// stand-in seeded with Seed.
+func (f *Faults) points() *exec.FaultPoints {
+	if f.Ops != nil {
+		return f.Ops
+	}
+	f.rngOnce.Do(func() { f.rng = &exec.FaultPoints{Seed: f.Seed} })
+	return f.rng
+}

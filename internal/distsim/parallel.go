@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -93,11 +94,20 @@ func partitionFragments(ext *core.ExtendedPlan) []*fragment {
 // complete sub-result in one piece — the legacy runtime, kept as the
 // equivalence oracle and benchmark baseline.
 func (nw *Network) ExecuteParallel(ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, []Transfer, error) {
+	return nw.ExecuteParallelCtx(nil, ext, consts)
+}
+
+// ExecuteParallelCtx is ExecuteParallel under a context: the streaming
+// default inherits ExecuteStreamCtx's batch-bounded cancellation and
+// fragment-boundary panic isolation; the materializing oracle probes the
+// context between plan nodes and catches fragment panics as that
+// fragment's error. A nil context behaves exactly like ExecuteParallel.
+func (nw *Network) ExecuteParallelCtx(ctx context.Context, ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, []Transfer, error) {
 	if nw.Materializing {
-		return nw.executeParallelMaterializing(ext, consts)
+		return nw.executeParallelMaterializing(ctx, ext, consts)
 	}
 	var rows [][]exec.Value
-	schema, transfers, err := nw.ExecuteStream(ext, consts, func(b [][]exec.Value) error {
+	schema, transfers, err := nw.ExecuteStreamCtx(ctx, ext, consts, func(b [][]exec.Value) error {
 		rows = append(rows, b...)
 		return nil
 	})
@@ -109,8 +119,12 @@ func (nw *Network) ExecuteParallel(ext *core.ExtendedPlan, consts exec.ConstCach
 	return t, transfers, nil
 }
 
-func (nw *Network) executeParallelMaterializing(ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, []Transfer, error) {
+func (nw *Network) executeParallelMaterializing(ctx context.Context, ext *core.ExtendedPlan, consts exec.ConstCache) (*exec.Table, []Transfer, error) {
 	frags := partitionFragments(ext)
+	runCtx := ctx
+	if ctx != nil && ctx.Done() == nil {
+		runCtx = nil // context.Background etc: keep the zero-cost path
+	}
 
 	// Resolve subject executors up front, before any worker starts, so
 	// goroutines never touch the subject map. Clones carry private UDF
@@ -125,6 +139,7 @@ func (nw *Network) executeParallelMaterializing(ext *core.ExtendedPlan, consts e
 		c.Materializing = true
 		c.BatchSize = nw.BatchSize
 		c.Trace = nw.Trace
+		c.Ctx = runCtx
 		clones[i] = c
 	}
 
@@ -138,6 +153,15 @@ func (nw *Network) executeParallelMaterializing(ext *core.ExtendedPlan, consts e
 		wg.Add(1)
 		go func(f *fragment, ex *exec.Executor) {
 			defer wg.Done()
+			// Fragment boundary: a panic becomes this fragment's error
+			// result, so blocked consumers always receive something and the
+			// process survives.
+			defer func() {
+				if r := recover(); r != nil {
+					f.out <- fragResult{err: fmt.Errorf("distsim: %s at %s: %w",
+						f.root.Op(), f.subject, exec.NewPanicError("fragment", r))}
+				}
+			}()
 			for _, in := range f.inputs {
 				r := <-in.from.out
 				if r.err != nil {

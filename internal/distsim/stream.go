@@ -1,6 +1,7 @@
 package distsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -108,6 +109,27 @@ func (nw *Network) partialEdgeFor(f *fragment, in fragInput) *partialEdge {
 // to the network ledger. The network is not otherwise mutated, so
 // concurrent ExecuteStream calls on one prepared network are safe.
 func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache, sink func(rows [][]exec.Value) error) ([]algebra.Attr, []Transfer, error) {
+	return nw.ExecuteStreamCtx(nil, ext, consts, sink)
+}
+
+// ExecuteStreamCtx is ExecuteStream under a context. Cancellation (or
+// deadline expiry) aborts the run within one batch of work: a watcher
+// closes the run's done channel, unblocking every exchange send and
+// receive, while each fragment executor probes the context at its own batch
+// boundaries. A panic on any fragment goroutine is caught at the fragment
+// boundary and surfaces as that fragment's *exec.PanicError instead of
+// killing the process, and spill runs abandoned on any abort path are swept
+// once every goroutine has stopped. A nil context (or one that can never be
+// cancelled) costs nothing over ExecuteStream.
+func (nw *Network) ExecuteStreamCtx(ctx context.Context, ext *core.ExtendedPlan, consts exec.ConstCache, sink func(rows [][]exec.Value) error) ([]algebra.Attr, []Transfer, error) {
+	runCtx := ctx
+	if ctx != nil && ctx.Done() == nil {
+		runCtx = nil // context.Background etc: keep the zero-cost path
+	}
+	var faultOps *exec.FaultPoints
+	if nw.Faults != nil {
+		faultOps = nw.Faults.Ops
+	}
 	frags := partitionFragments(ext)
 	root := frags[len(frags)-1] // build appends the root fragment last
 
@@ -135,7 +157,8 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 	// goroutines never touch the subject map. One memory accountant spans
 	// the whole run: every fragment's reservations draw on the same
 	// per-query budget, exactly as they would on one overloaded host.
-	runMem, runSpill := nw.runBudget()
+	runMem, runSpill, sweep := nw.runResources()
+	defer sweep() // after wg.Wait below: no goroutine of the run is live
 	clones := make([]*exec.Executor, len(frags))
 	for i, f := range frags {
 		c := nw.Subject(f.subject).Clone()
@@ -153,6 +176,8 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 		c.Mem = runMem
 		c.Spill = runSpill
 		c.AdaptiveBatch = nw.AdaptiveBatch
+		c.Ctx = runCtx
+		c.Faults = faultOps
 		c.Sources = make(map[algebra.Node]exec.Operator, len(f.inputs))
 		clones[i] = c
 	}
@@ -177,6 +202,22 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 		abort()
 	}
 
+	// The watcher turns a context cancellation into a run abort: closing
+	// done unblocks every exchange send and receive, so even fragments
+	// stalled on a full or empty channel stop within one batch.
+	finished := make(chan struct{})
+	watchDone := make(chan struct{})
+	if runCtx != nil {
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-runCtx.Done():
+				fail(context.Cause(runCtx))
+			case <-finished:
+			}
+		}()
+	}
+
 	for i, f := range frags {
 		wg.Add(1)
 		go func(i int, f *fragment, ex *exec.Executor) {
@@ -195,6 +236,24 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 					case <-done:
 					}
 				}
+			}
+			// Fragment boundary: a panic anywhere in this fragment's build or
+			// pump becomes its query error; sibling fragments unwind through
+			// the done channel and the process survives. Registered after the
+			// close(outCh) defer so the error message can still be forwarded.
+			defer func() {
+				if r := recover(); r != nil {
+					emitErr(wrap(exec.NewPanicError(fmt.Sprintf("fragment %s", f.root.Op()), r)))
+				}
+			}()
+			edgeSpec, edgeArmed := nw.Faults.edgeSpec(f.subject, edges[i].to)
+			var edgeFP *exec.FaultPoints
+			var edgeWhere string
+			if edgeArmed && !isRoot {
+				edgeFP = nw.Faults.points()
+				edgeWhere = "edge " + EdgeKey(f.subject, edges[i].to)
+			} else {
+				edgeArmed = false
 			}
 
 			for _, in := range f.inputs {
@@ -247,9 +306,14 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 			first := true
 			var sinkErr error
 			aborted := false
-			pumpErr := pipeline.Pump(op, func(b *exec.Batch) error {
+			pumpErr := pipeline.PumpContext(runCtx, op, func(b *exec.Batch) error {
 				rows += b.N
 				batches++
+				if edgeArmed {
+					if err := edgeSpec.Fire(edgeFP, edgeWhere, batches); err != nil {
+						return err
+					}
+				}
 				if isRoot {
 					// The root's hand-off to the dispatching user is not a
 					// simulated link and is not in the ledger: materialize
@@ -322,6 +386,10 @@ func (nw *Network) ExecuteStream(ext *core.ExtendedPlan, consts exec.ConstCache,
 	}
 
 	wg.Wait()
+	close(finished)
+	if runCtx != nil {
+		<-watchDone
+	}
 	if firstErr != nil {
 		return nil, nil, firstErr
 	}

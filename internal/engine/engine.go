@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -100,6 +101,27 @@ type Config struct {
 	// grows it geometrically toward BatchSize, so short-circuiting queries
 	// never pay for a full batch of downstream work.
 	AdaptiveBatch bool
+	// QueryTimeout is the default deadline of every query: a run exceeding
+	// it is cancelled within one batch of work and fails with
+	// context.DeadlineExceeded. A caller context that carries its own
+	// deadline (mpqd's ?timeout=) overrides it; 0 disables the default.
+	QueryTimeout time.Duration
+	// MaxConcurrent caps in-flight queries (admission control): queries
+	// beyond the cap wait in a bounded queue and overloads are rejected
+	// with ErrOverloaded instead of stacking up without bound. 0 disables
+	// admission control.
+	MaxConcurrent int
+	// MaxQueue bounds the admission wait queue (only with MaxConcurrent
+	// set). 0 means no queue: the query is rejected the moment the cap is
+	// reached.
+	MaxQueue int
+	// QueueWait bounds how long an admitted-but-capped query waits for an
+	// execution slot before failing with ErrQueueTimeout (0 means
+	// DefaultQueueWait).
+	QueueWait time.Duration
+	// Faults arms the fault-injection harness on every prepared network
+	// (chaos tests only; see distsim.Faults). Nil in production.
+	Faults *distsim.Faults
 	// PlannerMode selects the join-ordering strategy: PlannerCost
 	// (default) plans left-deep in FROM order with textbook selectivity
 	// estimation; PlannerGreedy orders joins greedily from predicate
@@ -147,6 +169,9 @@ type Engine struct {
 	// met owns the metrics registry; every engine counter lives there (see
 	// metrics.go) so Stats, /metrics, and engbench read one source of truth.
 	met *engineMetrics
+
+	// adm is the admission gate (nil when MaxConcurrent is unset).
+	adm *admission
 }
 
 // New validates the configuration and starts an engine.
@@ -186,6 +211,7 @@ func New(cfg Config) (*Engine, error) {
 		policy:  cfg.Policy,
 		cache:   newPlanCache(size),
 	}
+	e.adm = newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait)
 	e.met = newEngineMetrics(e)
 	return e, nil
 }
@@ -356,7 +382,17 @@ const maxOptimisticPrepares = 2
 // Query plans, authorizes, and executes one SQL query, reusing a cached
 // authorized plan when one exists for the current authorization state.
 func (e *Engine) Query(query string) (*Response, error) {
-	resp, _, err := e.query(query, nil)
+	return e.QueryCtx(nil, query)
+}
+
+// QueryCtx is Query under a caller context: cancellation or deadline expiry
+// aborts the run within one batch of work (spill files deleted, memory
+// released, fragment goroutines joined) and the error carries the context's
+// cause. The engine's Config.QueryTimeout applies as the default deadline
+// when ctx has none; admission control (Config.MaxConcurrent) may reject
+// the query with ErrOverloaded or ErrQueueTimeout before any work is done.
+func (e *Engine) QueryCtx(ctx context.Context, query string) (*Response, error) {
+	resp, _, err := e.query(ctx, query, nil)
 	return resp, err
 }
 
@@ -364,8 +400,27 @@ func (e *Engine) Query(query string) (*Response, error) {
 // executes traced (every compiled operator wrapped in a span, every
 // cross-subject edge recorded) and the observed cardinalities are stored on
 // the prepared plan.
-func (e *Engine) query(query string, tr *obs.Trace) (*Response, *preparedQuery, error) {
+func (e *Engine) query(ctx context.Context, query string, tr *obs.Trace) (_ *Response, _ *preparedQuery, err error) {
 	e.met.queries.Inc()
+	ctx, cancel := e.runContext(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	if err := e.acquireSlot(ctx); err != nil {
+		e.countFailure(err)
+		return nil, nil, err
+	}
+	defer e.releaseSlot()
+	// Last-resort panic isolation: execution-layer panics are caught at the
+	// morsel and fragment boundaries below, so this boundary covers the
+	// engine's own phases (parse, admission, finalization). The process
+	// serves the next query either way.
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.NewPanicError("engine query", r)
+			e.countFailure(err)
+		}
+	}()
 	start := time.Now()
 	stmt, err := sql.Parse(query)
 	if err != nil {
@@ -403,13 +458,13 @@ func (e *Engine) query(query string, tr *obs.Trace) (*Response, *preparedQuery, 
 		transfers []distsim.Transfer
 	)
 	if e.cfg.Sequential {
-		table, err = run.Execute(pq.result.Extended, pq.consts)
+		table, err = run.ExecuteCtx(ctx, pq.result.Extended, pq.consts)
 		transfers = run.Transfers
 	} else {
-		table, transfers, err = run.ExecuteParallel(pq.result.Extended, pq.consts)
+		table, transfers, err = run.ExecuteParallelCtx(ctx, pq.result.Extended, pq.consts)
 	}
 	if err != nil {
-		e.met.errors.Inc()
+		e.countFailure(err)
 		return nil, nil, err
 	}
 	e.met.observe(e.met.phaseExecute, execStart)
@@ -526,6 +581,7 @@ func (e *Engine) prepare(stmt *sql.SelectStmt, version uint64, pol authz.Viewer,
 	nw.SpillDir = e.cfg.SpillDir
 	nw.PartialShuffle = e.cfg.PartialShuffle
 	nw.AdaptiveBatch = e.cfg.AdaptiveBatch
+	nw.Faults = e.cfg.Faults
 	for name, fn := range e.cfg.UDFs {
 		nw.UDFs[name] = fn
 	}

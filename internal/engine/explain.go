@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -73,7 +74,14 @@ type Explanation struct {
 // its observed cardinalities on the prepared plan for the
 // cardinality-feedback hook.
 func (e *Engine) Explain(query string) (*Explanation, error) {
-	_, ex, err := e.QueryTraced(query)
+	_, ex, err := e.QueryTracedCtx(nil, query)
+	return ex, err
+}
+
+// ExplainCtx is Explain under a caller context (see QueryCtx for the
+// cancellation, deadline, and admission semantics).
+func (e *Engine) ExplainCtx(ctx context.Context, query string) (*Explanation, error) {
+	_, ex, err := e.QueryTracedCtx(ctx, query)
 	return ex, err
 }
 
@@ -81,8 +89,13 @@ func (e *Engine) Explain(query string) (*Explanation, error) {
 // full response (result table included) and the annotated explanation —
 // the mpqd ?trace=1 surface, where the caller wants rows and trace together.
 func (e *Engine) QueryTraced(query string) (*Response, *Explanation, error) {
+	return e.QueryTracedCtx(nil, query)
+}
+
+// QueryTracedCtx is QueryTraced under a caller context.
+func (e *Engine) QueryTracedCtx(ctx context.Context, query string) (*Response, *Explanation, error) {
 	tr := obs.NewTrace()
-	resp, pq, err := e.query(query, tr)
+	resp, pq, err := e.query(ctx, query, tr)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -23,7 +23,7 @@ func TestTracedRunMatchesUntraced(t *testing.T) {
 	for _, q := range tpch.Queries() {
 		want := canon(centralized(t, q.SQL))
 		tr := obs.NewTrace()
-		resp, pq, err := eng.query(q.SQL, tr)
+		resp, pq, err := eng.query(nil, q.SQL, tr)
 		if err != nil {
 			t.Fatalf("Q%d traced: %v", q.Num, err)
 		}

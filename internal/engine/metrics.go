@@ -26,6 +26,16 @@ type engineMetrics struct {
 	transfers     *obs.Counter
 	bytesShipped  *obs.Counter
 
+	// Admission-gate outcomes (mpq_engine_admission_total{outcome}) and the
+	// lifecycle failure modes the robustness work made first-class.
+	admitted      *obs.Counter
+	rejected      *obs.Counter
+	queueTimeouts *obs.Counter
+	admCanceled   *obs.Counter
+	timeouts      *obs.Counter
+	cancels       *obs.Counter
+	panics        *obs.Counter
+
 	// Per-phase latency of the query lifecycle, in seconds: parse and the
 	// cold-preparation stages (plan, authz, assign, keys), then execute and
 	// finalize per run. Cache hits skip the preparation phases entirely, so
@@ -62,6 +72,34 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 		"Inter-subject shipments recorded across all runs.")
 	m.bytesShipped = r.Counter("mpq_engine_bytes_shipped_total",
 		"Bytes moved between subjects across all runs.")
+
+	const admHelp = "Admission-gate decisions by outcome: admitted (slot granted, possibly after queueing), rejected (cap and queue full), queue_timeout (waited QueueWait without a slot), canceled (caller gave up while queued)."
+	m.admitted = r.Counter("mpq_engine_admission_total", admHelp, obs.L("outcome", "admitted"))
+	m.rejected = r.Counter("mpq_engine_admission_total", admHelp, obs.L("outcome", "rejected"))
+	m.queueTimeouts = r.Counter("mpq_engine_admission_total", admHelp, obs.L("outcome", "queue_timeout"))
+	m.admCanceled = r.Counter("mpq_engine_admission_total", admHelp, obs.L("outcome", "canceled"))
+	m.timeouts = r.Counter("mpq_engine_deadline_exceeded_total",
+		"Queries aborted by their deadline (Config.QueryTimeout or a caller deadline).")
+	m.cancels = r.Counter("mpq_engine_canceled_total",
+		"Queries aborted by caller cancellation (client disconnect, shutdown).")
+	m.panics = r.Counter("mpq_engine_panics_recovered_total",
+		"Execution panics caught at a morsel, fragment, or engine boundary and returned as query errors.")
+
+	r.GaugeFunc("mpq_engine_inflight_queries",
+		"Queries currently holding an admission slot (0 when admission control is off).",
+		func() float64 {
+			if e.adm == nil {
+				return 0
+			}
+			return float64(len(e.adm.slots))
+		})
+	r.GaugeFunc("mpq_engine_admission_queue_depth",
+		"Queries waiting in the admission queue.", func() float64 {
+			if e.adm == nil {
+				return 0
+			}
+			return float64(e.adm.queued.Load())
+		})
 
 	r.GaugeFunc("mpq_engine_cached_plans",
 		"Authorized plans currently cached.", func() float64 {

@@ -162,7 +162,7 @@ func TestCacheHitRefillsRandomizerPool(t *testing.T) {
 		t.Fatal(err)
 	}
 	q1 := querySQL(t, 1) // Paillier SUM aggregation
-	resp, pq, err := eng.query(q1, nil)
+	resp, pq, err := eng.query(nil, q1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +173,7 @@ func TestCacheHitRefillsRandomizerPool(t *testing.T) {
 		t.Fatal("prepared Q1 recorded no Paillier keys")
 	}
 
-	hit, _, err := eng.query(q1, nil)
+	hit, _, err := eng.query(nil, q1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +191,7 @@ func TestCacheHitRefillsRandomizerPool(t *testing.T) {
 	}
 
 	before := crypto.ReadStats().PaillierPoolHits
-	if _, _, err := eng.query(q1, nil); err != nil {
+	if _, _, err := eng.query(nil, q1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if after := crypto.ReadStats().PaillierPoolHits; after <= before {

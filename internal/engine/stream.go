@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"mpq/internal/exec"
@@ -23,14 +24,38 @@ import (
 // Sequential and Materializing runtimes, which have no streaming interior.
 // A yield error aborts the run and is returned.
 func (e *Engine) QueryStream(query string, yield func(headers []string, rows [][]exec.Value) error) (*Response, error) {
-	return e.queryStream(query, nil, yield)
+	return e.QueryStreamCtx(nil, query, yield)
+}
+
+// QueryStreamCtx is QueryStream under a caller context: cancellation or
+// deadline expiry aborts the run within one batch of work, the engine's
+// Config.QueryTimeout applies when ctx has no deadline, and admission
+// control may reject the query before any work is done (see QueryCtx).
+func (e *Engine) QueryStreamCtx(ctx context.Context, query string, yield func(headers []string, rows [][]exec.Value) error) (*Response, error) {
+	return e.queryStream(ctx, query, nil, yield)
 }
 
 // queryStream is the shared body of QueryStream and the traced streaming
 // path (mpqd's ?trace=1): when tr is non-nil the run executes traced and the
 // observed cardinalities are stored on the prepared plan.
-func (e *Engine) queryStream(query string, tr *obs.Trace, yield func(headers []string, rows [][]exec.Value) error) (*Response, error) {
+func (e *Engine) queryStream(ctx context.Context, query string, tr *obs.Trace, yield func(headers []string, rows [][]exec.Value) error) (_ *Response, err error) {
 	e.met.queries.Inc()
+	ctx, cancel := e.runContext(ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	if err := e.acquireSlot(ctx); err != nil {
+		e.countFailure(err)
+		return nil, err
+	}
+	defer e.releaseSlot()
+	// Engine-boundary panic isolation, as in Engine.query.
+	defer func() {
+		if r := recover(); r != nil {
+			err = exec.NewPanicError("engine query", r)
+			e.countFailure(err)
+		}
+	}()
 	start := time.Now()
 	pq, hit, err := e.admitSQL(query)
 	if err != nil {
@@ -82,10 +107,10 @@ func (e *Engine) queryStream(query string, tr *obs.Trace, yield func(headers []s
 		// No streaming interior: execute, finalize, replay in batches.
 		var table *exec.Table
 		if e.cfg.Sequential {
-			table, err = run.Execute(pq.result.Extended, pq.consts)
+			table, err = run.ExecuteCtx(ctx, pq.result.Extended, pq.consts)
 			resp.Transfers = run.Transfers
 		} else {
-			table, resp.Transfers, err = run.ExecuteParallel(pq.result.Extended, pq.consts)
+			table, resp.Transfers, err = run.ExecuteParallelCtx(ctx, pq.result.Extended, pq.consts)
 		}
 		if err == nil && tr != nil {
 			pq.recordObserved(tr)
@@ -94,7 +119,7 @@ func (e *Engine) queryStream(query string, tr *obs.Trace, yield func(headers []s
 			table, _, err = e.finalize(pq, table)
 		}
 		if err != nil {
-			e.met.errors.Inc()
+			e.countFailure(err)
 			return nil, err
 		}
 		for pos := 0; pos < len(table.Rows); pos += batch {
@@ -167,9 +192,9 @@ func (e *Engine) queryStream(query string, tr *obs.Trace, yield func(headers []s
 		return emit(out)
 	}
 
-	schema, transfers, err := run.ExecuteStream(pq.result.Extended, pq.consts, sink)
+	schema, transfers, err := run.ExecuteStreamCtx(ctx, pq.result.Extended, pq.consts, sink)
 	if err != nil {
-		e.met.errors.Inc()
+		e.countFailure(err)
 		return nil, err
 	}
 	resp.Transfers = transfers

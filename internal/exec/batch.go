@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"mpq/internal/algebra"
@@ -107,11 +108,21 @@ func Drain(op Operator) (*Table, error) {
 		op.Close()
 		return nil, err
 	}
+	// Close must run even when Next panics (injected faults, buggy UDFs):
+	// morsel mergers and spill runs hang off it, and a skipped Close leaks
+	// their goroutines and files past the recover boundary above us.
+	closed := false
+	closeOp := func() error { closed = true; return op.Close() }
+	defer func() {
+		if !closed {
+			op.Close()
+		}
+	}()
 	out := NewTable(op.Schema())
 	for {
 		b, err := op.Next()
 		if err != nil {
-			op.Close()
+			closeOp()
 			return nil, err
 		}
 		if b == nil {
@@ -119,7 +130,7 @@ func Drain(op Operator) (*Table, error) {
 		}
 		out.Rows = append(out.Rows, b.Rows()...)
 	}
-	if err := op.Close(); err != nil {
+	if err := closeOp(); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -136,9 +147,10 @@ type colScan struct {
 	t        *Table
 	project  []int // nil = identity
 	batch    int
-	adaptive bool     // start small, grow geometrically toward batch
-	cols     []Column // projected headers, resolved at Open
-	n        int      // row count the vectors were built at (the scan bound)
+	adaptive bool            // start small, grow geometrically toward batch
+	ctx      context.Context // run cancellation, probed per window (nil = never)
+	cols     []Column        // projected headers, resolved at Open
+	n        int             // row count the vectors were built at (the scan bound)
 	pos      int
 	cur      int // current window size (== batch unless adaptive)
 }
@@ -179,6 +191,9 @@ func (s *colScan) Open() error {
 }
 
 func (s *colScan) Next() (*Batch, error) {
+	if err := ctxErr(s.ctx); err != nil {
+		return nil, err
+	}
 	b := scanWindow(s.cols, &s.pos, s.n, s.cur)
 	if b != nil && s.cur < s.batch {
 		s.cur *= 2

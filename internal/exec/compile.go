@@ -17,34 +17,42 @@ import (
 // Materialized scan the pre-computed relation.
 //
 // With a Trace attached, every compiled operator is wrapped in a span
-// recording rows, batches, and wall time per Next. Spliced subtrees
-// (Sources exchanges, Materialized sub-results) are never wrapped: the
-// producing fragment already accounts those rows, and wrapping the splice
-// would double-count them under the same span.
+// recording rows, batches, and wall time per Next. With active FaultPoints,
+// every compiled operator is additionally wrapped in the injection shim.
+// Spliced subtrees (Sources exchanges, Materialized sub-results) are never
+// wrapped: the producing fragment already accounts those rows, and wrapping
+// the splice would double-count them under the same span.
 func (e *Executor) Build(n algebra.Node) (Operator, error) {
-	if e.Trace == nil {
+	if e.Trace == nil && !e.Faults.active() {
 		return e.buildNode(n)
 	}
 	if op, ok := e.Sources[n]; ok {
 		return op, nil
 	}
-	if _, ok := e.Materialized[n]; ok {
-		return e.buildNode(n)
-	}
+	_, materialized := e.Materialized[n]
 	op, err := e.buildNode(n)
-	if err != nil {
-		return nil, err
+	if err != nil || materialized {
+		return op, err
 	}
-	sp := e.Trace.Span(n, n.Op(), "")
-	// Morsel-parallel operators additionally report which worker claimed
-	// each morsel, exposing scheduler skew in Explain output.
-	switch x := op.(type) {
-	case *parallelOp:
-		x.sp = sp
-	case *groupByOp:
-		x.sp = sp
+	if e.Trace != nil {
+		sp := e.Trace.Span(n, n.Op(), "")
+		// Morsel-parallel operators additionally report which worker claimed
+		// each morsel, exposing scheduler skew in Explain output.
+		switch x := op.(type) {
+		case *parallelOp:
+			x.sp = sp
+		case *groupByOp:
+			x.sp = sp
+		}
+		op = &traceOp{inner: op, sp: sp}
 	}
-	return &traceOp{inner: op, sp: sp}, nil
+	if e.Faults.active() {
+		spec, armed := e.Faults.specFor(n.Op())
+		if armed || e.Faults.Hook != nil {
+			op = &faultOp{inner: op, fp: e.Faults, spec: spec, armed: armed, where: n.Op()}
+		}
+	}
+	return op, nil
 }
 
 // buildNode is the untraced compilation dispatch behind Build.
@@ -55,6 +63,7 @@ func (e *Executor) buildNode(n algebra.Node) (Operator, error) {
 	if t, ok := e.Materialized[n]; ok {
 		s := newColScan(t, nil, e.batchSize())
 		s.adaptive = e.AdaptiveBatch
+		s.ctx = e.Ctx
 		return s, nil
 	}
 	if e.parWorkers() > 1 {
@@ -107,6 +116,7 @@ func (e *Executor) buildBase(b *algebra.Base) (Operator, error) {
 	}
 	s := newColScan(t, indices, e.batchSize())
 	s.adaptive = e.AdaptiveBatch
+	s.ctx = e.Ctx
 	return s, nil
 }
 
@@ -214,6 +224,7 @@ func (e *Executor) buildJoin(j *algebra.Join) (Operator, error) {
 		residual: resPred, batch: e.batchSize(),
 		leftWidth: len(ls),
 		mem:       e.Mem, spillFac: e.Spill,
+		ctx: e.Ctx,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 	"time"
@@ -96,6 +97,15 @@ type Executor struct {
 	// so a nil Trace leaves the compiled pipeline — and its per-batch cost
 	// — completely untouched (enforced by BenchmarkTraceOverhead).
 	Trace *obs.Trace
+	// Ctx, when non-nil, is the run's cancellation context. Leaf scans,
+	// spill read-back loops, and the materializing evaluator probe it at
+	// batch boundaries, so a cancelled run stops within one batch of work.
+	// nil (the default) costs a single pointer comparison per batch.
+	Ctx context.Context
+	// Faults arms the fault-injection harness: Build wraps every compiled
+	// operator in a shim firing the configured errors, panics, and delays
+	// at batch boundaries. nil (the default) leaves the pipeline untouched.
+	Faults *FaultPoints
 }
 
 // ConstCache maps value-comparison conditions to their encrypted literals.
@@ -139,6 +149,8 @@ func (e *Executor) Clone() *Executor {
 		Spill:         e.Spill,
 		AdaptiveBatch: e.AdaptiveBatch,
 		Trace:         e.Trace,
+		Ctx:           e.Ctx,
+		Faults:        e.Faults,
 	}
 }
 
@@ -167,6 +179,9 @@ func (e *Executor) Run(n algebra.Node) (*Table, error) {
 // materialized result (one batch), so Explain works under the oracle
 // runtime too.
 func (e *Executor) runMaterializing(n algebra.Node) (*Table, error) {
+	if err := ctxErr(e.Ctx); err != nil {
+		return nil, err
+	}
 	if t, ok := e.Materialized[n]; ok {
 		return t, nil
 	}

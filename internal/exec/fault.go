@@ -1,0 +1,155 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mpq/internal/algebra"
+)
+
+// ErrInjected marks errors raised by the fault-injection harness, so chaos
+// tests can tell a deliberately injected failure from a genuine one with
+// errors.Is.
+var ErrInjected = errors.New("exec: injected fault")
+
+// FaultKind selects what an armed fault point does when it fires.
+type FaultKind string
+
+const (
+	// FaultError makes the point return an error wrapping ErrInjected.
+	FaultError FaultKind = "error"
+	// FaultPanic makes the point panic; the run must still terminate with
+	// a clean *PanicError and no leaked resources — this is the kind that
+	// exercises the recover boundaries.
+	FaultPanic FaultKind = "panic"
+	// FaultDelay makes the point sleep for Delay and then proceed
+	// normally: the kind that exercises deadlines and cancellation.
+	FaultDelay FaultKind = "delay"
+)
+
+// FaultSpec arms one fault point. Exactly one trigger should be set:
+// NthBatch fires deterministically on the n-th batch the point sees
+// (1-based), Prob fires each batch with the given probability drawn from
+// the harness's seeded generator. A spec with neither trigger never fires.
+type FaultSpec struct {
+	Kind     FaultKind
+	NthBatch int
+	Prob     float64
+	// Delay is the sleep of a FaultDelay spec.
+	Delay time.Duration
+}
+
+// FaultPoints is the operator-level half of the fault-injection harness
+// (distsim.Faults carries the edge-level half and embeds one of these).
+// When an executor carries a non-nil FaultPoints, Build wraps every
+// compiled operator in a shim that consults Ops after each produced batch:
+// the operator's algebra rendering (algebra.Node.Op(), e.g. "σ[p_size =
+// 15]") is matched first exactly, then by the "*" wildcard. It is a test
+// and chaos harness knob — production configs leave it nil, and the
+// compiled pipeline is then byte-identical to an unfaulted build.
+type FaultPoints struct {
+	// Seed makes probabilistic faults reproducible.
+	Seed int64
+	// Ops maps operator renderings (or "*") to fault specs.
+	Ops map[string]FaultSpec
+	// Hook, when set, observes every (point, batch ordinal) pair before
+	// any armed fault fires. The cancellation-sweep test uses it to
+	// cancel a context at an exact batch boundary.
+	Hook func(where string, batch int)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// specFor resolves the spec for an operator rendering: exact match first,
+// then the "*" wildcard (operator renderings embed their arguments, so the
+// wildcard is how a suite arms "every operator").
+func (fp *FaultPoints) specFor(op string) (FaultSpec, bool) {
+	if fp == nil || len(fp.Ops) == 0 {
+		return FaultSpec{}, false
+	}
+	if s, ok := fp.Ops[op]; ok {
+		return s, true
+	}
+	s, ok := fp.Ops["*"]
+	return s, ok
+}
+
+// hit draws one Bernoulli sample from the seeded generator.
+func (fp *FaultPoints) hit(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if fp.rng == nil {
+		fp.rng = rand.New(rand.NewSource(fp.Seed))
+	}
+	return fp.rng.Float64() < prob
+}
+
+// active reports whether Build needs to wrap operators at all.
+func (fp *FaultPoints) active() bool {
+	return fp != nil && (len(fp.Ops) > 0 || fp.Hook != nil)
+}
+
+// Fire evaluates the spec at a named point for the batch ordinal and either
+// returns an injected error, panics, sleeps, or does nothing. Shared by the
+// operator shim and distsim's per-edge points.
+func (s FaultSpec) Fire(fp *FaultPoints, where string, batch int) error {
+	fire := false
+	if s.NthBatch > 0 {
+		fire = batch == s.NthBatch
+	} else if s.Prob > 0 {
+		fire = fp.hit(s.Prob)
+	}
+	if !fire {
+		return nil
+	}
+	switch s.Kind {
+	case FaultPanic:
+		panic(fmt.Sprintf("injected panic at %s (batch %d)", where, batch))
+	case FaultDelay:
+		time.Sleep(s.Delay)
+		return nil
+	default:
+		return fmt.Errorf("%w at %s (batch %d)", ErrInjected, where, batch)
+	}
+}
+
+// faultOp is the per-operator injection shim Build inserts when the
+// executor carries active FaultPoints: it counts the batches the wrapped
+// operator produces and fires the armed spec (and the observation hook) at
+// each batch boundary.
+type faultOp struct {
+	inner   Operator
+	fp      *FaultPoints
+	spec    FaultSpec
+	armed   bool
+	where   string
+	batches int
+}
+
+func (f *faultOp) Schema() []algebra.Attr { return f.inner.Schema() }
+func (f *faultOp) Open() error            { f.batches = 0; return f.inner.Open() }
+func (f *faultOp) Close() error           { return f.inner.Close() }
+
+func (f *faultOp) Next() (*Batch, error) {
+	b, err := f.inner.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	f.batches++
+	if f.fp.Hook != nil {
+		f.fp.Hook(f.where, f.batches)
+	}
+	if f.armed {
+		if err := f.spec.Fire(f.fp, f.where, f.batches); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}

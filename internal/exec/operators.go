@@ -2,6 +2,7 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/big"
 	"sync/atomic"
@@ -362,6 +363,9 @@ type hashJoinOp struct {
 	spillFac    SpillFactory
 	idxReserved int64
 	grace       *graceJoin
+	// ctx cancels spill read-back loops (grace pairs replay whole runs, so
+	// without it a cancelled run would finish the current pair first).
+	ctx context.Context
 
 	// Probe cursor: the current probe batch, the next probe row, and the
 	// unconsumed matches of the last keyed row.
@@ -898,6 +902,8 @@ type groupTable struct {
 	frozen   bool
 	parts    []SpillRun
 	partSel  [][]int32
+	// ctx cancels the partition read-back recursion of emitGroups.
+	ctx context.Context
 
 	// mergePartials switches ingestion to pre-aggregated partial rows
 	// (pre-shuffle partial aggregation): keys in the leading columns, then
@@ -1168,6 +1174,9 @@ func (g *groupByOp) build() error {
 	} else {
 		if g.e != nil && g.e.Mem != nil {
 			gt.mem, gt.spill = g.e.Mem, g.e.Spill
+		}
+		if g.e != nil {
+			gt.ctx = g.e.Ctx
 		}
 		for {
 			b, err := g.child.Next()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -214,10 +215,16 @@ func emitPartitionGroups(gt *groupTable, run SpillRun, emit func(*group) error) 
 	}
 	sub := newGroupTable(gt.keyIdx, gt.aggIdx, gt.specs, gt.gather, gt.ring)
 	sub.mergePartials = gt.mergePartials
+	sub.ctx = gt.ctx
 	if gt.mem != nil && gt.level+1 < maxSpillDepth {
 		sub.mem, sub.spill, sub.level = gt.mem, gt.spill, gt.level+1
 	}
 	for {
+		if err := ctxErr(gt.ctx); err != nil {
+			rd.Close()
+			sub.discard()
+			return err
+		}
 		b, err := rd.Next()
 		if err != nil {
 			rd.Close()
@@ -466,6 +473,9 @@ func (p *partialAggOp) build() error {
 	if p.e != nil && p.e.Mem != nil {
 		gt.mem, gt.spill = p.e.Mem, p.e.Spill
 	}
+	if p.e != nil {
+		gt.ctx = p.e.Ctx
+	}
 	for {
 		b, err := p.child.Next()
 		if err != nil {
@@ -669,7 +679,7 @@ func buildJoinIndexMem(right Operator, hashR int, mem *MemAccountant, fac SpillF
 // re-partitions one level deeper (the run stays intact on disk and can be
 // re-read). At the cap the partition builds unbudgeted — the skew fallback
 // for a single giant key.
-func buildRunIndex(run SpillRun, schema []algebra.Attr, hashR int, mem *MemAccountant, level int) (idx *joinIndex, reserved int64, refit bool, err error) {
+func buildRunIndex(ctx context.Context, run SpillRun, schema []algebra.Attr, hashR int, mem *MemAccountant, level int) (idx *joinIndex, reserved int64, refit bool, err error) {
 	if err := run.Finish(); err != nil {
 		return nil, 0, false, err
 	}
@@ -681,6 +691,11 @@ func buildRunIndex(run SpillRun, schema []algebra.Attr, hashR int, mem *MemAccou
 	unbudgeted := level+1 >= maxSpillDepth
 	var keyBuf []byte
 	for {
+		if err := ctxErr(ctx); err != nil {
+			rd.Close()
+			mem.Release(reserved)
+			return nil, 0, false, err
+		}
 		b, err := rd.Next()
 		if err != nil {
 			rd.Close()
@@ -725,7 +740,7 @@ func buildRunIndex(run SpillRun, schema []algebra.Attr, hashR int, mem *MemAccou
 
 // repartitionRun splits one run's batches into spillPartitions fresh runs by
 // the key column's hash at the given level, then releases the source run.
-func repartitionRun(run SpillRun, keyCol, level int, fac SpillFactory) ([]SpillRun, error) {
+func repartitionRun(ctx context.Context, run SpillRun, keyCol, level int, fac SpillFactory) ([]SpillRun, error) {
 	defer run.Release()
 	if err := run.Finish(); err != nil {
 		return nil, err
@@ -736,6 +751,11 @@ func repartitionRun(run SpillRun, keyCol, level int, fac SpillFactory) ([]SpillR
 	}
 	jp := newJoinPartitioner(fac, keyCol, level)
 	for {
+		if err := ctxErr(ctx); err != nil {
+			rd.Close()
+			jp.discard()
+			return nil, err
+		}
 		b, err := rd.Next()
 		if err != nil {
 			rd.Close()
@@ -866,18 +886,18 @@ func (g *graceJoin) next() (*Batch, error) {
 
 func (g *graceJoin) openPair(pair gracePair) error {
 	j := g.j
-	idx, reserved, refit, err := buildRunIndex(pair.build, g.buildSchema, j.hashR, j.mem, pair.level)
+	idx, reserved, refit, err := buildRunIndex(j.ctx, pair.build, g.buildSchema, j.hashR, j.mem, pair.level)
 	if err != nil {
 		pair.probe.Release()
 		return err
 	}
 	if refit {
-		buildParts, err := repartitionRun(pair.build, j.hashR, pair.level+1, j.spillFac)
+		buildParts, err := repartitionRun(j.ctx, pair.build, j.hashR, pair.level+1, j.spillFac)
 		if err != nil {
 			pair.probe.Release()
 			return err
 		}
-		probeParts, err := repartitionRun(pair.probe, j.hashL, pair.level+1, j.spillFac)
+		probeParts, err := repartitionRun(j.ctx, pair.probe, j.hashL, pair.level+1, j.spillFac)
 		if err != nil {
 			releaseRuns(buildParts)
 			return err
@@ -886,11 +906,13 @@ func (g *graceJoin) openPair(pair gracePair) error {
 		return nil
 	}
 	pair.build.Release()
+	probe := newSpillScan(g.probeSchema, pair.probe)
+	probe.ctx = j.ctx
 	inner := &hashJoinOp{
-		left:   newSpillScan(g.probeSchema, pair.probe),
+		left:   probe,
 		schema: j.schema, hashL: j.hashL, hashR: j.hashR,
 		residual: j.residual, batch: j.batch, leftWidth: j.leftWidth,
-		idx: idx, shared: true,
+		idx: idx, shared: true, ctx: j.ctx,
 	}
 	if err := inner.Open(); err != nil {
 		j.mem.Release(reserved)
@@ -932,6 +954,7 @@ type spillScan struct {
 	schema []algebra.Attr
 	run    SpillRun
 	rd     SpillReader
+	ctx    context.Context // run cancellation, probed per batch
 }
 
 func newSpillScan(schema []algebra.Attr, run SpillRun) *spillScan {
@@ -953,6 +976,9 @@ func (s *spillScan) Open() error {
 }
 
 func (s *spillScan) Next() (*Batch, error) {
+	if err := ctxErr(s.ctx); err != nil {
+		return nil, err
+	}
 	if s.rd == nil {
 		return nil, nil
 	}

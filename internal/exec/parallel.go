@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -368,6 +369,7 @@ type morselScan struct {
 	schema []algebra.Attr
 	cols   []Column
 	batch  int
+	ctx    context.Context // run cancellation, probed per window
 	lo, hi int
 	pos    int
 }
@@ -377,6 +379,9 @@ func (s *morselScan) Schema() []algebra.Attr { return s.schema }
 func (s *morselScan) Open() error            { s.pos = s.lo; return nil }
 func (s *morselScan) Close() error           { return nil }
 func (s *morselScan) Next() (*Batch, error) {
+	if err := ctxErr(s.ctx); err != nil {
+		return nil, err
+	}
 	return scanWindow(s.cols, &s.pos, s.hi, s.batch), nil
 }
 
@@ -385,6 +390,7 @@ func (s *morselScan) Next() (*Batch, error) {
 type chainRun struct {
 	c        *chain
 	cols     []Column
+	ctx      context.Context // run cancellation, handed to every worker scan
 	total    int
 	morsel   int
 	nMorsels int
@@ -417,6 +423,7 @@ func (e *Executor) prepareChain(c *chain) (*chainRun, error) {
 	return &chainRun{
 		c:      c,
 		cols:   projectCols(cols, c.project),
+		ctx:    e.Ctx,
 		total:  total,
 		morsel: morsel, nMorsels: (total + morsel - 1) / morsel,
 	}, nil
@@ -435,7 +442,7 @@ func (r *chainRun) bounds(idx int) (lo, hi int) {
 // newWorkerChain instantiates one worker's private operator chain over its
 // own morsel scan.
 func (r *chainRun) newWorkerChain(batch int) (Operator, *morselScan) {
-	src := &morselScan{schema: r.c.anchorSchema, cols: r.cols, batch: batch}
+	src := &morselScan{schema: r.c.anchorSchema, cols: r.cols, batch: batch, ctx: r.ctx}
 	var op Operator = src
 	for _, step := range r.c.steps {
 		op = step(op)
@@ -526,7 +533,7 @@ func runMorsels(workers, nMorsels, bound int, abort <-chan struct{},
 				if idx >= nMorsels {
 					return
 				}
-				out := work(idx)
+				out := workProtected(work, idx)
 				select {
 				case results <- out:
 				case <-done:
@@ -566,6 +573,20 @@ func runMorsels(workers, nMorsels, bound int, abort <-chan struct{},
 // errMorselsAborted reports a run torn down via the abort channel (operator
 // Close mid-stream); the origin of the teardown carries the real cause.
 var errMorselsAborted = fmt.Errorf("exec: morsel run aborted")
+
+// workProtected runs one morsel with the worker-boundary panic guard: a
+// panicking chain (a buggy UDF, an injected fault) becomes that morsel's
+// error instead of killing the process, and the scheduler tears the run
+// down through the ordinary error path — no worker or merger is left
+// blocked.
+func workProtected(work func(idx int) morselOut, idx int) (out morselOut) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = morselOut{idx: idx, err: NewPanicError("morsel worker", r)}
+		}
+	}()
+	return work(idx)
+}
 
 // parallelOp executes a compiled chain morsel-parallel and re-emits the
 // output batches in morsel order: a drop-in Operator whose stream is
@@ -611,6 +632,17 @@ func (p *parallelOp) Open() error {
 	go func() {
 		defer p.wg.Done()
 		defer close(merged)
+		// Merger-boundary panic guard: a panic on this goroutine surfaces
+		// as a failed morsel on the merged channel (before its close), so
+		// Next reports it as an ordinary error instead of the process dying.
+		defer func() {
+			if r := recover(); r != nil {
+				select {
+				case merged <- morselOut{err: NewPanicError("morsel merge", r)}:
+				case <-done:
+				}
+			}
+		}()
 		runMorsels(p.workers, run.nMorsels, 2*p.workers, done,
 			func(w int) func(idx int) morselOut {
 				op, src := run.newWorkerChain(p.batch)

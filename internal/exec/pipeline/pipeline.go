@@ -12,6 +12,8 @@
 package pipeline
 
 import (
+	"context"
+
 	"mpq/internal/algebra"
 	"mpq/internal/exec"
 )
@@ -21,25 +23,53 @@ import (
 // sub-plan into the channel feeding the consuming subject (an emit error
 // aborts the pump and is returned).
 func Pump(op exec.Operator, emit func(*exec.Batch) error) error {
+	return PumpContext(nil, op, emit)
+}
+
+// PumpContext is Pump with a per-batch cancellation probe: between batches
+// it checks ctx (nil = never cancelled, identical to Pump), so a cancelled
+// or deadline-expired run stops pumping within one batch even when the
+// operator tree contains no context-aware leaf (pure exchange-fed
+// fragments). The operator is closed on every exit path.
+func PumpContext(ctx context.Context, op exec.Operator, emit func(*exec.Batch) error) error {
 	if err := op.Open(); err != nil {
 		op.Close()
 		return err
 	}
+	// A panic unwinding out of Next or emit (an injected fault, a buggy
+	// UDF) must still tear the operator tree down before the fragment
+	// boundary reports it: morsel mergers and spill runs hang off Close,
+	// and skipping it leaks their goroutines and files.
+	closed := false
+	closeOp := func() error { closed = true; return op.Close() }
+	defer func() {
+		if !closed {
+			op.Close()
+		}
+	}()
 	for {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				closeOp()
+				return context.Cause(ctx)
+			default:
+			}
+		}
 		b, err := op.Next()
 		if err != nil {
-			op.Close()
+			closeOp()
 			return err
 		}
 		if b == nil {
 			break
 		}
 		if err := emit(b); err != nil {
-			op.Close()
+			closeOp()
 			return err
 		}
 	}
-	return op.Close()
+	return closeOp()
 }
 
 // Msg is one hop of a batch exchange: a batch, or the producer's terminal
